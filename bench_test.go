@@ -1,0 +1,186 @@
+// Benchmarks regenerating every table and figure of the paper, one bench
+// per exhibit (see DESIGN.md's per-experiment index). They run at the
+// reduced QuickConfig scale so `go test -bench=.` stays tractable; use
+// cmd/truthbench for paper-scale runs.
+package truthdiscovery
+
+import (
+	"sync"
+	"testing"
+
+	"truthdiscovery/internal/experiments"
+	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/report"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+// benchEnviron builds (once) a reduced-scale environment with both domains
+// and their fusion problems materialised, so individual benches measure the
+// experiment computation rather than world generation.
+func benchEnviron(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.QuickConfig(1)
+		benchEnv = experiments.NewEnv(cfg)
+		for _, d := range benchEnv.Domains() {
+			d.Problem()
+			d.SampledAccuracy()
+			d.SampledAttrAccuracy()
+		}
+	})
+	return benchEnv
+}
+
+func benchExperiment(b *testing.B, id string) {
+	env := benchEnviron(b)
+	x, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep *report.Report
+	for i := 0; i < b.N; i++ {
+		rep = x.Run(env)
+	}
+	if rep == nil || rep.ID != id {
+		b.Fatalf("bad report for %s", id)
+	}
+}
+
+// Section 2-3: the data study.
+
+func BenchmarkTable1Overview(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkTable2Attributes(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkFigure1AttributeCoverage(b *testing.B) { benchExperiment(b, "figure1") }
+func BenchmarkFigure2ObjectRedundancy(b *testing.B)  { benchExperiment(b, "figure2") }
+func BenchmarkFigure3ItemRedundancy(b *testing.B)    { benchExperiment(b, "figure3") }
+func BenchmarkTable3Inconsistency(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkFigure4Distributions(b *testing.B)     { benchExperiment(b, "figure4") }
+func BenchmarkFigure5Anecdote(b *testing.B)          { benchExperiment(b, "figure5") }
+func BenchmarkFigure6Reasons(b *testing.B)           { benchExperiment(b, "figure6") }
+func BenchmarkFigure7Dominance(b *testing.B)         { benchExperiment(b, "figure7") }
+func BenchmarkTable4Authorities(b *testing.B)        { benchExperiment(b, "table4") }
+func BenchmarkFigure8SourceAccuracy(b *testing.B)    { benchExperiment(b, "figure8") }
+func BenchmarkTable5Copying(b *testing.B)            { benchExperiment(b, "table5") }
+
+// Section 4: fusion.
+
+func BenchmarkTable6FeatureMatrix(b *testing.B)     { benchExperiment(b, "table6") }
+func BenchmarkTable7Fusion(b *testing.B)            { benchExperiment(b, "table7") }
+func BenchmarkFigure9RecallCurve(b *testing.B)      { benchExperiment(b, "figure9") }
+func BenchmarkFigure10PrecVsDominance(b *testing.B) { benchExperiment(b, "figure10") }
+func BenchmarkTable8Pairwise(b *testing.B)          { benchExperiment(b, "table8") }
+func BenchmarkFigure11ErrorAnalysis(b *testing.B)   { benchExperiment(b, "figure11") }
+func BenchmarkFigure12Efficiency(b *testing.B)      { benchExperiment(b, "figure12") }
+func BenchmarkTable9OverTime(b *testing.B)          { benchExperiment(b, "table9") }
+func BenchmarkAblationAccuCopy(b *testing.B)        { benchExperiment(b, "accucopy-ablation") }
+func BenchmarkAblationTolerance(b *testing.B)       { benchExperiment(b, "tolerance-sweep") }
+
+// Per-method microbenches on the Stock problem (the paper's Figure 12 axis).
+
+func benchMethod(b *testing.B, name string) {
+	env := benchEnviron(b)
+	d := env.Stock()
+	p := d.Problem()
+	m, ok := fusion.ByName(name)
+	if !ok {
+		b.Fatalf("unknown method %s", name)
+	}
+	opts := d.FusionOptions(name, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.Run(p, opts)
+		if len(res.Chosen) != len(p.Items) {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkMethodVote(b *testing.B)           { benchMethod(b, "Vote") }
+func BenchmarkMethodHub(b *testing.B)            { benchMethod(b, "Hub") }
+func BenchmarkMethodAvgLog(b *testing.B)         { benchMethod(b, "AvgLog") }
+func BenchmarkMethodInvest(b *testing.B)         { benchMethod(b, "Invest") }
+func BenchmarkMethodPooledInvest(b *testing.B)   { benchMethod(b, "PooledInvest") }
+func BenchmarkMethodCosine(b *testing.B)         { benchMethod(b, "Cosine") }
+func BenchmarkMethodTwoEstimates(b *testing.B)   { benchMethod(b, "2-Estimates") }
+func BenchmarkMethodThreeEstimates(b *testing.B) { benchMethod(b, "3-Estimates") }
+func BenchmarkMethodTruthFinder(b *testing.B)    { benchMethod(b, "TruthFinder") }
+func BenchmarkMethodAccuPr(b *testing.B)         { benchMethod(b, "AccuPr") }
+func BenchmarkMethodPopAccu(b *testing.B)        { benchMethod(b, "PopAccu") }
+func BenchmarkMethodAccuSim(b *testing.B)        { benchMethod(b, "AccuSim") }
+func BenchmarkMethodAccuFormat(b *testing.B)     { benchMethod(b, "AccuFormat") }
+func BenchmarkMethodAccuSimAttr(b *testing.B)    { benchMethod(b, "AccuSimAttr") }
+func BenchmarkMethodAccuFormatAttr(b *testing.B) { benchMethod(b, "AccuFormatAttr") }
+func BenchmarkMethodAccuCopy(b *testing.B)       { benchMethod(b, "AccuCopy") }
+
+// Substrate microbenches: generation and problem construction.
+
+func BenchmarkStockSnapshotGeneration(b *testing.B) {
+	sim := SimulateStock(StockOptions{Seed: 1, Stocks: 200, Days: 1, GoldSymbols: 50})
+	_ = sim
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := SimulateStock(StockOptions{Seed: 1, Stocks: 200, Days: 1, GoldSymbols: 50})
+		if len(s.Dataset.Snapshots[0].Claims) == 0 {
+			b.Fatal("no claims")
+		}
+	}
+}
+
+func BenchmarkFlightSnapshotGeneration(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := SimulateFlight(FlightOptions{Seed: 1, Flights: 300, Days: 1, GoldFlights: 60})
+		if len(s.Dataset.Snapshots[0].Claims) == 0 {
+			b.Fatal("no claims")
+		}
+	}
+}
+
+func BenchmarkProblemBuild(b *testing.B) {
+	env := benchEnviron(b)
+	d := env.Stock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := fusion.Build(d.DS, d.Snap, d.Fused,
+			fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true})
+		if len(p.Items) == 0 {
+			b.Fatal("empty problem")
+		}
+	}
+}
+
+// Section 5 extension benches.
+
+func BenchmarkExtensionEnsemble(b *testing.B)        { benchExperiment(b, "ensemble") }
+func BenchmarkExtensionSeedTrust(b *testing.B)       { benchExperiment(b, "seed-trust") }
+func BenchmarkExtensionCategoryTrust(b *testing.B)   { benchExperiment(b, "category-trust") }
+func BenchmarkExtensionSourceSelection(b *testing.B) { benchExperiment(b, "source-selection") }
+
+func BenchmarkMethodEnsemble(b *testing.B) {
+	env := benchEnviron(b)
+	d := env.Stock()
+	p := d.Problem()
+	m := fusion.Ensemble{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := m.Run(p, fusion.Options{}); len(res.Chosen) != len(p.Items) {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkSeedTrustComputation(b *testing.B) {
+	env := benchEnviron(b)
+	p := env.Stock().Problem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if seed := fusion.SeedTrust(p, 0.75); len(seed) != len(p.SourceIDs) {
+			b.Fatal("bad seed")
+		}
+	}
+}

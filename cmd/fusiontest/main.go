@@ -1,0 +1,85 @@
+// Command fusiontest runs every fusion method on one snapshot of each
+// domain and prints a Table-7-style comparison (precision with and without
+// sampled trust, trust deviation/difference, runtime). It is a calibration
+// aid; the real harness lives in cmd/truthbench.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"truthdiscovery/internal/datagen"
+	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/gold"
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generator seed")
+	domain := flag.String("domain", "both", "stock, flight, or both")
+	flag.Parse()
+	if *domain == "stock" || *domain == "both" {
+		run("Stock", *seed)
+	}
+	if *domain == "flight" || *domain == "both" {
+		run("Flight", *seed)
+	}
+}
+
+func run(domain string, seed int64) {
+	var ds *model.Dataset
+	var snap *model.Snapshot
+	var gld *model.TruthTable
+	var fused []model.SourceID
+	var groups [][]model.SourceID
+
+	if domain == "Stock" {
+		gen := datagen.NewStock(datagen.DefaultStockConfig(seed))
+		ds = gen.Dataset()
+		snap = gen.Snapshot(6)
+		ds.AddSnapshot(snap)
+		ds.ComputeTolerances(value.DefaultAlpha, snap)
+		gld = gold.ForGenerated(gen, snap)
+		fused = gen.FusedSources()
+		for _, g := range gen.CopyGroups() {
+			groups = append(groups, g.Members)
+		}
+	} else {
+		gen := datagen.NewFlight(datagen.DefaultFlightConfig(seed))
+		ds = gen.Dataset()
+		snap = gen.Snapshot(7)
+		ds.AddSnapshot(snap)
+		ds.ComputeTolerances(value.DefaultAlpha, snap)
+		gld = gold.ForGenerated(gen, snap)
+		fused = gen.FusedSources()
+		for _, g := range gen.CopyGroups() {
+			groups = append(groups, g.Members)
+		}
+	}
+
+	p := fusion.Build(ds, snap, fused, fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true})
+	acc := fusion.SampleAccuracy(ds, snap, p, gld)
+	attrAcc := fusion.SampleAttrAccuracy(ds, snap, p, gld)
+
+	fmt.Printf("=== %s: %d items, %d sources, %d gold ===\n", domain, len(p.Items), len(p.SourceIDs), gld.Len())
+	fmt.Printf("%-16s %8s %8s %8s %8s %8s %6s\n", "method", "w.trust", "wo.trust", "tdev", "tdiff", "ms", "rounds")
+	for _, m := range fusion.Methods() {
+		// Without input trust.
+		res := m.Run(p, fusion.Options{})
+		ev := fusion.Evaluate(ds, p, res, gld)
+		fusion.EvaluateTrust(&ev, res, m.TrustScale(acc))
+
+		// With sampled trust (and known copying for AccuCopy).
+		opts := fusion.Options{InputTrust: m.TrustScale(acc), InputAttrTrust: attrAcc}
+		if m.Name() == "AccuCopy" {
+			opts.KnownGroups = groups
+		}
+		resT := m.Run(p, opts)
+		evT := fusion.Evaluate(ds, p, resT, gld)
+
+		fmt.Printf("%-16s %8.3f %8.3f %8.2f %8.2f %8d %6d\n",
+			m.Name(), evT.Precision, ev.Precision, ev.TrustDev, ev.TrustDiff,
+			res.Elapsed.Milliseconds(), res.Rounds)
+	}
+}

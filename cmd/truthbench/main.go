@@ -1,0 +1,67 @@
+// Command truthbench regenerates the tables and figures of "Truth Finding
+// on the Deep Web: Is the Problem Solved?" (Li et al., PVLDB 6(2), 2012) on
+// the simulated Stock and Flight collections.
+//
+// Usage:
+//
+//	truthbench                      # run everything at paper scale
+//	truthbench -run table7          # one experiment
+//	truthbench -run table7,figure9  # several
+//	truthbench -list                # list experiment IDs
+//	truthbench -quick               # reduced scale (CI-friendly)
+//	truthbench -seed 7              # different simulated world
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"truthdiscovery/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		quick = flag.Bool("quick", false, "reduced scale for quick runs")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, x := range experiments.All() {
+			fmt.Printf("%-18s %s\n", x.ID, x.Title)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig(*seed)
+	if *quick {
+		cfg = experiments.QuickConfig(*seed)
+	}
+	env := experiments.NewEnv(cfg)
+
+	var todo []experiments.Experiment
+	if *run == "" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			x, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			todo = append(todo, x)
+		}
+	}
+
+	for _, x := range todo {
+		start := time.Now()
+		rep := x.Run(env)
+		rep.Note("elapsed: %s", time.Since(start).Round(time.Millisecond))
+		rep.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,104 @@
+// Customdomain: apply the library to a domain the paper never touched —
+// conflicting restaurant listings (opening time as a clock value, phone
+// digits as text, rating as a number) — demonstrating that the public API
+// is not tied to the Stock/Flight simulators.
+//
+//	go run ./examples/customdomain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	td "truthdiscovery"
+)
+
+type listing struct {
+	source string
+	opens  string
+	phone  string
+	rating string
+}
+
+func main() {
+	// Five directory sites describe the same restaurant; two of them are
+	// thin scrapes of the first one (a copying clique), carrying its wrong
+	// opening time and phone digits everywhere.
+	data := map[string]map[string]listing{
+		"La Table": {
+			"cityguide":  {opens: "11:30", phone: "555 0101", rating: "4.5"},
+			"eatfinder":  {opens: "11:30", phone: "555 0101", rating: "4.4"},
+			"metroeats":  {opens: "11:30", phone: "555 0101", rating: "4.5"},
+			"scraper1":   {opens: "12:30", phone: "555 0110", rating: "4.5"},
+			"scraper2":   {opens: "12:30", phone: "555 0110", rating: "4.5"},
+			"scrapebase": {opens: "12:30", phone: "555 0110", rating: "4.5"},
+		},
+		"Nori Bar": {
+			"cityguide":  {opens: "17:00", phone: "555 0202", rating: "4.1"},
+			"eatfinder":  {opens: "17:00", phone: "555 0202", rating: "4.0"},
+			"metroeats":  {opens: "17:05", phone: "555 0202", rating: "4.1"},
+			"scraper1":   {opens: "17:00", phone: "555 0220", rating: "3.2"},
+			"scraper2":   {opens: "17:00", phone: "555 0220", rating: "3.2"},
+			"scrapebase": {opens: "17:00", phone: "555 0220", rating: "3.2"},
+		},
+		"Pilsner Hall": {
+			"cityguide":  {opens: "15:00", phone: "555 0303", rating: "4.8"},
+			"eatfinder":  {opens: "15:00", phone: "555 0303", rating: "4.7"},
+			"metroeats":  {opens: "15:00", phone: "555 0303", rating: "4.8"},
+			"scrapebase": {opens: "3:00pm", phone: "555 0303", rating: "4.8"},
+		},
+	}
+
+	b := td.NewBuilder("restaurants")
+	opens := b.Attribute("opens", td.Time)
+	phone := b.Attribute("phone", td.Text)
+	rating := b.Attribute("rating", td.Number)
+
+	sources := map[string]td.SourceID{}
+	for _, listings := range data {
+		for src := range listings {
+			if _, ok := sources[src]; !ok {
+				sources[src] = b.Source(src)
+			}
+		}
+	}
+	for restaurant, listings := range data {
+		obj := b.Object(restaurant)
+		for src, l := range listings {
+			must(b.Claim(sources[src], obj, opens, l.opens))
+			must(b.Claim(sources[src], obj, phone, l.phone))
+			must(b.Claim(sources[src], obj, rating, l.rating))
+		}
+	}
+	ds, snap, err := b.Build()
+	must(err)
+
+	clique := [][]td.SourceID{{sources["scrapebase"], sources["scraper1"], sources["scraper2"]}}
+
+	for _, run := range []struct {
+		label  string
+		method string
+		opts   td.FuseOptions
+	}{
+		{"Vote", "Vote", td.FuseOptions{}},
+		{"AccuSim", "AccuSim", td.FuseOptions{}},
+		{"AccuCopy (known clique)", "AccuCopy", td.FuseOptions{KnownCopyGroups: clique}},
+	} {
+		answers, err := td.Fuse(ds, snap, run.method, run.opts)
+		must(err)
+		fmt.Printf("== %s ==\n", run.label)
+		for _, a := range answers {
+			fmt.Printf("  %-14s %-7s = %s\n", a.ObjectKey, a.Attribute, a.Value.String())
+		}
+		fmt.Println()
+	}
+	fmt.Println("The scraper clique outvotes the three honest directories under Vote")
+	fmt.Println("(3 vs 3 ties broken by first-seen, wrong phone/opening on La Table and")
+	fmt.Println("Nori Bar); declaring the clique lets AccuCopy keep one vote per feed.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

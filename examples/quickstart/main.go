@@ -1,0 +1,58 @@
+// Quickstart: resolve conflicting claims about book prices from three
+// stores using the public truthdiscovery API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	td "truthdiscovery"
+)
+
+func main() {
+	b := td.NewBuilder("books")
+	price := b.Attribute("price", td.Number)
+	pages := b.Attribute("pages", td.Number)
+
+	storeA := b.Source("storeA")
+	storeB := b.Source("storeB")
+	storeC := b.Source("storeC")
+
+	goBook := b.Object("the-go-programming-language")
+	dbBook := b.Object("database-internals")
+
+	// storeC is sloppy: wrong price on one book, wrong page count on the
+	// other. The raw strings show the format tolerance ("$", commas).
+	check(b.Claim(storeA, goBook, price, "$42.50"))
+	check(b.Claim(storeB, goBook, price, "42.50"))
+	check(b.Claim(storeC, goBook, price, "60.00"))
+	check(b.Claim(storeA, goBook, pages, "380"))
+	check(b.Claim(storeB, goBook, pages, "380"))
+
+	check(b.Claim(storeA, dbBook, price, "31.99"))
+	check(b.Claim(storeB, dbBook, price, "31.99"))
+	check(b.Claim(storeC, dbBook, price, "31.99"))
+	check(b.Claim(storeB, dbBook, pages, "1,040"))
+	check(b.Claim(storeC, dbBook, pages, "104"))
+
+	ds, snap, err := b.Build()
+	check(err)
+
+	for _, method := range []string{"Vote", "AccuPr", "TruthFinder"} {
+		answers, err := td.Fuse(ds, snap, method, td.FuseOptions{})
+		check(err)
+		fmt.Printf("== %s ==\n", method)
+		for _, a := range answers {
+			fmt.Printf("  %-30s %-6s = %-10s (%d of %d sources)\n",
+				a.ObjectKey, a.Attribute, a.Value.String(), a.Support, a.Providers)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

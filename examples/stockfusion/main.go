@@ -1,0 +1,57 @@
+// Stockfusion: simulate the paper's Stock collection (55 deep-web sources,
+// semantic ambiguity, staleness, formatting, two copying cliques), build
+// the authority-vote gold standard, and compare fusion methods — a compact
+// version of the paper's Table 7 on the Stock side.
+//
+//	go run ./examples/stockfusion [-stocks 400] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	td "truthdiscovery"
+)
+
+func main() {
+	stocks := flag.Int("stocks", 400, "number of stock symbols to simulate")
+	seed := flag.Int64("seed", 1, "world seed")
+	flag.Parse()
+
+	sim := td.SimulateStock(td.StockOptions{
+		Seed: *seed, Stocks: *stocks, Days: 1, GoldSymbols: *stocks / 4,
+	})
+	snap := sim.Dataset.Snapshots[0]
+
+	// The paper's gold standard: vote among the five authority sources on
+	// items at least three of them provide. Here we build it through the
+	// public API by fusing only the authorities with VOTE.
+	authAnswers, err := td.Fuse(sim.Dataset, snap, "Vote",
+		td.FuseOptions{Sources: sim.Authorities})
+	if err != nil {
+		panic(err)
+	}
+	gold := td.NewGold()
+	for _, a := range authAnswers {
+		if a.Providers >= 3 {
+			gold.Set(a.Item, a.Value)
+		}
+	}
+	fmt.Printf("simulated %d sources, %d claims; gold standard: %d items\n\n",
+		len(sim.Dataset.Sources), len(snap.Claims), gold.Len())
+
+	fmt.Printf("%-16s %10s %8s\n", "method", "precision", "errors")
+	for _, name := range []string{
+		"Vote", "Hub", "TruthFinder", "AccuPr", "AccuSim", "AccuFormat", "AccuFormatAttr",
+	} {
+		answers, err := td.Fuse(sim.Dataset, snap, name, td.FuseOptions{Sources: sim.Fused})
+		if err != nil {
+			panic(err)
+		}
+		ev := td.EvaluateAgainst(sim.Dataset, answers, gold)
+		fmt.Printf("%-16s %10.3f %8d\n", name, ev.Precision, ev.Errors)
+	}
+	fmt.Println("\nExpected shape (paper Table 7): the Accu family beats Vote, and")
+	fmt.Println("per-attribute trust (AccuFormatAttr) wins — semantic ambiguity is")
+	fmt.Println("attribute-local, so per-attribute trust isolates it.")
+}

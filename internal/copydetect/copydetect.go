@@ -1,0 +1,222 @@
+// Package copydetect implements the Bayesian copy detection of Dong,
+// Berti-Equille and Srivastava (VLDB 2009/2010) that the paper's ACCUCOPY
+// method builds on: for every pair of sources, sharing *false* values is
+// strong evidence of copying, sharing true values is weak evidence, and
+// disagreeing is evidence of independence.
+//
+// The paper stresses a limitation that this implementation reproduces by
+// default: the detector treats values highly similar to the truth as plain
+// false values, so on numeric data (Stock) honest sources that round or
+// jitter the same way are flagged as copiers, poisoning ACCUCOPY. The
+// SimilarityAware option implements the robustness fix the paper calls for
+// in Section 5 (callers mark near-true claims as true).
+package copydetect
+
+import (
+	"math"
+)
+
+// Observation is one data item's claims: parallel slices of providing
+// sources, the value bucket each provides, whether the claim counts as true
+// under the caller's current truth belief, and the popularity of the
+// claim's value among the item's providers.
+type Observation struct {
+	Sources []int32
+	Buckets []int32
+	Truthy  []bool
+	// Pop[i] is the provider share of claim i's value on this item, used
+	// by the popularity-aware likelihood; if nil, the uniform 1/NFalse
+	// assumption of the original model is used.
+	Pop []float64
+	// FalseW[i] is the caller's probability that claim i's value is false
+	// (1 - P(value true) from the fusion state). Shared-false evidence is
+	// weighted by it, so hotly contested items — where the "false" label
+	// itself is unreliable — contribute weak evidence. Nil means weight 1.
+	FalseW []float64
+	// Contested[i] marks claims on values whose support rivals the chosen
+	// truth's: two sources sharing such a value yield no shared-false
+	// evidence (the value may well be the truth), but disagreement evidence
+	// still counts. Nil means nothing is contested.
+	Contested []bool
+}
+
+// Options configures detection.
+type Options struct {
+	// CopyRate is c, the probability that a copier copies a particular
+	// value rather than providing it independently (default 0.8).
+	CopyRate float64
+	// Prior is the prior probability of copying in each direction
+	// (default 0.05).
+	Prior float64
+	// NFalse is the assumed number of uniformly distributed false values
+	// per item (default 50).
+	NFalse float64
+	// MinOverlap is the minimum number of shared items before a pair is
+	// scored; sparse overlaps default to independence (default 30).
+	MinOverlap int
+	// UniformFalse disables the popularity-aware shared-false likelihood
+	// and reverts to the original 1/NFalse assumption. The popularity-aware
+	// form (the default) keeps systematically colliding false values — a
+	// whole fleet of stale sources showing the scheduled time as the actual
+	// time — from flagging every stale pair as copiers; rare shared false
+	// values (the Stock jitter buckets) remain strong evidence, preserving
+	// the false-positive failure mode the paper reports on Stock.
+	UniformFalse bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CopyRate <= 0 {
+		o.CopyRate = 0.8
+	}
+	if o.Prior <= 0 {
+		o.Prior = 0.05
+	}
+	if o.NFalse <= 0 {
+		o.NFalse = 50
+	}
+	if o.MinOverlap <= 0 {
+		o.MinOverlap = 30
+	}
+	return o
+}
+
+// pairCounts accumulates the three per-pair observation classes, plus the
+// accumulated log-popularity of the shared false values. sameFalse is a
+// weighted count (per-event false-probability weights).
+type pairCounts struct {
+	bothTrue  int32   // both sources provide a true value
+	differ    int32   // the sources disagree (or exactly one is true)
+	sameFalse float64 // both provide the same false value (weighted)
+	sumLnPop  float64
+}
+
+// Detect returns the symmetric pairwise dependence probabilities
+// dep[s1][s2] = P(s1 and s2 are not independent | observations), given
+// per-source accuracies and the current truth assignment embedded in the
+// observations.
+func Detect(numSources int, obs []Observation, accuracy []float64, opts Options) [][]float64 {
+	opts = opts.withDefaults()
+	counts := make([]pairCounts, numSources*numSources)
+
+	for oi := range obs {
+		o := &obs[oi]
+		n := len(o.Sources)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				si, sj := o.Sources[i], o.Sources[j]
+				if si > sj {
+					si, sj = sj, si
+				}
+				pc := &counts[int(si)*numSources+int(sj)]
+				switch {
+				case o.Truthy[i] && o.Truthy[j]:
+					pc.bothTrue++
+				case !o.Truthy[i] && !o.Truthy[j] && o.Buckets[i] == o.Buckets[j]:
+					if o.Contested != nil && o.Contested[i] {
+						break // contested shared value: no evidence
+					}
+					w := 1.0
+					if o.FalseW != nil {
+						w = clamp01(o.FalseW[i])
+					}
+					pc.sameFalse += w
+					pop := 1 / opts.NFalse
+					if o.Pop != nil && !opts.UniformFalse {
+						pop = math.Max(o.Pop[i], 1e-6)
+					}
+					pc.sumLnPop += w * math.Log(pop)
+				default:
+					pc.differ++
+				}
+			}
+		}
+	}
+
+	dep := make([][]float64, numSources)
+	for i := range dep {
+		dep[i] = make([]float64, numSources)
+	}
+	for s1 := 0; s1 < numSources; s1++ {
+		for s2 := s1 + 1; s2 < numSources; s2++ {
+			pc := counts[s1*numSources+s2]
+			total := float64(pc.bothTrue+pc.differ) + pc.sameFalse
+			if total < float64(opts.MinOverlap) {
+				continue
+			}
+			p := pairDependence(pc, accuracy[s1], accuracy[s2], opts)
+			dep[s1][s2] = p
+			dep[s2][s1] = p
+		}
+	}
+	return dep
+}
+
+// pairDependence applies the Bayesian model of Dong et al.: compare the
+// likelihood of the observed overlap under independence against copying in
+// either direction, with the configured prior.
+func pairDependence(pc pairCounts, a1, a2 float64, opts Options) float64 {
+	a1 = clampAcc(a1)
+	a2 = clampAcc(a2)
+	c := opts.CopyRate
+	n := opts.NFalse
+
+	// The geometric-mean popularity of the shared false values; equals
+	// 1/NFalse when the uniform assumption is in force.
+	avgPop := 1 / n
+	if pc.sameFalse > 0 {
+		avgPop = math.Exp(pc.sumLnPop / pc.sameFalse)
+	}
+
+	// Per-item-class probabilities under independence. The shared-false
+	// term uses the accumulated per-event popularities exactly.
+	pTrueInd := a1 * a2
+	pDiffInd := math.Max(1e-12, 1-pTrueInd-(1-a1)*(1-a2)*avgPop)
+
+	logInd := float64(pc.bothTrue)*math.Log(pTrueInd) +
+		pc.sameFalse*math.Log((1-a1)*(1-a2)) + pc.sumLnPop +
+		float64(pc.differ)*math.Log(pDiffInd)
+
+	// Under "s2 copies s1": with probability c the value is copied
+	// verbatim (true with the original's accuracy), otherwise independent.
+	logCopy := func(ao, ac float64) float64 {
+		pTrue := ao * (c + (1-c)*ac)
+		pFalse := (1 - ao) * (c + (1-c)*(1-ac)*avgPop)
+		pDiff := math.Max(1e-12, 1-pTrue-pFalse)
+		return float64(pc.bothTrue)*math.Log(pTrue) +
+			pc.sameFalse*math.Log(pFalse) +
+			float64(pc.differ)*math.Log(pDiff)
+	}
+	log12 := logCopy(a1, a2) // s2 copies s1
+	log21 := logCopy(a2, a1) // s1 copies s2
+
+	// Bayes over {independent, s1->s2, s2->s1} in log space.
+	alpha := opts.Prior
+	lInd := math.Log(1-2*alpha) + logInd
+	l12 := math.Log(alpha) + log12
+	l21 := math.Log(alpha) + log21
+	m := math.Max(lInd, math.Max(l12, l21))
+	eInd := math.Exp(lInd - m)
+	e12 := math.Exp(l12 - m)
+	e21 := math.Exp(l21 - m)
+	return (e12 + e21) / (eInd + e12 + e21)
+}
+
+func clampAcc(a float64) float64 {
+	if a < 0.01 {
+		return 0.01
+	}
+	if a > 0.99 {
+		return 0.99
+	}
+	return a
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

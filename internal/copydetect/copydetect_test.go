@@ -1,0 +1,194 @@
+package copydetect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// makeObs builds observations for a world with nItems items, a clique that
+// copies (same wrong values on wrongEvery-th items) and independent honest
+// sources. Sources 0..1 are honest, 2..3 form the clique.
+func cliqueObservations(nItems int) []Observation {
+	obs := make([]Observation, 0, nItems)
+	for i := 0; i < nItems; i++ {
+		o := Observation{
+			Sources: []int32{0, 1, 2, 3},
+			Buckets: []int32{0, 0, 0, 0},
+			Truthy:  []bool{true, true, true, true},
+		}
+		if i%3 == 0 {
+			// Clique wrong together, on a value unique to this item.
+			o.Buckets[2], o.Buckets[3] = 1, 1
+			o.Truthy[2], o.Truthy[3] = false, false
+		}
+		if i%7 == 0 {
+			// Honest source 1 wrong independently.
+			o.Buckets[1] = 2
+			o.Truthy[1] = false
+		}
+		o.Pop = []float64{0.5, 0.5, 0.25, 0.25}
+		obs = append(obs, o)
+	}
+	return obs
+}
+
+func TestDetectFindsClique(t *testing.T) {
+	obs := cliqueObservations(300)
+	acc := []float64{0.9, 0.85, 0.7, 0.7}
+	dep := Detect(4, obs, acc, Options{})
+	if dep[2][3] < 0.9 {
+		t.Errorf("clique pair dependence = %v, want ~1", dep[2][3])
+	}
+	if dep[0][1] > 0.1 {
+		t.Errorf("honest pair flagged: %v", dep[0][1])
+	}
+	if dep[0][2] > 0.1 || dep[1][3] > 0.1 {
+		t.Errorf("honest-clique pairs flagged: %v / %v", dep[0][2], dep[1][3])
+	}
+	// Symmetry.
+	if dep[2][3] != dep[3][2] {
+		t.Error("dependence matrix not symmetric")
+	}
+	if dep[0][0] != 0 {
+		t.Error("self-dependence should stay 0")
+	}
+}
+
+func TestMinOverlap(t *testing.T) {
+	obs := cliqueObservations(3) // 1 shared-false event, 3 shared items
+	acc := []float64{0.9, 0.85, 0.7, 0.7}
+	dep := Detect(4, obs, acc, Options{MinOverlap: 10})
+	if dep[2][3] != 0 {
+		t.Errorf("below-overlap pair should default to independence, got %v", dep[2][3])
+	}
+}
+
+func TestContestedSkip(t *testing.T) {
+	// Two honest sources repeatedly sharing a CONTESTED non-chosen value
+	// must not be flagged; with the contested flag cleared they are.
+	build := func(contested bool) []Observation {
+		obs := make([]Observation, 0, 200)
+		for i := 0; i < 200; i++ {
+			o := Observation{
+				Sources:   []int32{0, 1, 2},
+				Buckets:   []int32{1, 1, 0},
+				Truthy:    []bool{false, false, true},
+				Contested: []bool{contested, contested, false},
+				Pop:       []float64{0.4, 0.4, 0.6},
+			}
+			obs = append(obs, o)
+		}
+		return obs
+	}
+	acc := []float64{0.9, 0.9, 0.9}
+	depSkip := Detect(3, build(true), acc, Options{})
+	depFull := Detect(3, build(false), acc, Options{})
+	if depSkip[0][1] > 0.1 {
+		t.Errorf("contested sharing flagged: %v", depSkip[0][1])
+	}
+	if depFull[0][1] < 0.9 {
+		t.Errorf("uncontested systematic sharing should flag: %v", depFull[0][1])
+	}
+}
+
+func TestUniformVsPopularityAware(t *testing.T) {
+	// Sharing a POPULAR false value: weak evidence under the
+	// popularity-aware model, strong under the uniform 2009 model.
+	obs := make([]Observation, 0, 100)
+	for i := 0; i < 100; i++ {
+		o := Observation{
+			Sources: []int32{0, 1},
+			Buckets: []int32{1, 1},
+			Truthy:  []bool{false, false},
+			Pop:     []float64{0.5, 0.5},
+		}
+		if i%2 == 0 {
+			o = Observation{
+				Sources: []int32{0, 1},
+				Buckets: []int32{0, 1},
+				Truthy:  []bool{true, false},
+				Pop:     []float64{0.5, 0.5},
+			}
+		}
+		obs = append(obs, o)
+	}
+	acc := []float64{0.8, 0.5}
+	popAware := Detect(2, obs, acc, Options{})
+	uniform := Detect(2, obs, acc, Options{UniformFalse: true})
+	if uniform[0][1] < popAware[0][1] {
+		t.Errorf("uniform model should be at least as suspicious: uniform=%v popAware=%v",
+			uniform[0][1], popAware[0][1])
+	}
+	if uniform[0][1] < 0.9 {
+		t.Errorf("uniform model should flag heavy same-false sharing, got %v", uniform[0][1])
+	}
+}
+
+func TestFalseWeighting(t *testing.T) {
+	// Down-weighting shared-false events must lower the dependence.
+	build := func(w float64) []Observation {
+		obs := make([]Observation, 0, 60)
+		for i := 0; i < 60; i++ {
+			obs = append(obs, Observation{
+				Sources: []int32{0, 1},
+				Buckets: []int32{1, 1},
+				Truthy:  []bool{false, false},
+				Pop:     []float64{0.3, 0.3},
+				FalseW:  []float64{w, w},
+			})
+		}
+		return obs
+	}
+	acc := []float64{0.8, 0.8}
+	strong := Detect(2, build(1), acc, Options{})
+	weak := Detect(2, build(0.05), acc, Options{})
+	if !(weak[0][1] < strong[0][1]) {
+		t.Errorf("false-weighting had no effect: weak=%v strong=%v", weak[0][1], strong[0][1])
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.CopyRate != 0.8 || o.Prior != 0.05 || o.NFalse != 50 || o.MinOverlap != 30 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+// Property: dependence probabilities are always within [0, 1] and symmetric
+// for arbitrary observation patterns.
+func TestDetectBounds(t *testing.T) {
+	f := func(pattern []uint8) bool {
+		if len(pattern) == 0 {
+			return true
+		}
+		if len(pattern) > 120 {
+			pattern = pattern[:120]
+		}
+		obs := make([]Observation, 0, len(pattern))
+		for _, pv := range pattern {
+			b0 := int32(pv % 3)
+			b1 := int32((pv / 3) % 3)
+			obs = append(obs, Observation{
+				Sources: []int32{0, 1},
+				Buckets: []int32{b0, b1},
+				Truthy:  []bool{b0 == 0, b1 == 0},
+				Pop:     []float64{0.4, 0.4},
+			})
+		}
+		dep := Detect(2, obs, []float64{0.8, 0.6}, Options{MinOverlap: 1})
+		d := dep[0][1]
+		return d >= 0 && d <= 1 && dep[1][0] == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampAcc(t *testing.T) {
+	if clampAcc(0) != 0.01 || clampAcc(1) != 0.99 || clampAcc(0.5) != 0.5 {
+		t.Error("clampAcc bounds wrong")
+	}
+	if clamp01(-1) != 0 || clamp01(2) != 1 || clamp01(0.3) != 0.3 {
+		t.Error("clamp01 bounds wrong")
+	}
+}

@@ -1,0 +1,589 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// Fixed roster positions for the Flight domain. The three airline sites
+// provide the gold standard and do not participate in fusion; the five
+// copying cliques reproduce Table 5 (sizes 5, 4, 3, 2, 2 with average
+// accuracies around .71, .53, .92, .93, .61).
+const (
+	flightAirlineFirst = 0 // 0, 1, 2: AA, UA, CO sites
+	flightOrbitz       = 3
+	flightTravelocity  = 4
+	flightAirportFirst = 5 // 5..12: eight airport sites
+	flightNumAirports  = 8
+	flightG1Origin     = 13 // 5 sources, "Depen claimed"
+	flightG2Origin     = 18 // 4 sources, "Query redirection"
+	flightG3Origin     = 22 // 3 sources, "Depen claimed"
+	flightG4Origin     = 25 // 2 sources, "Embedded interface"
+	flightG5Origin     = 27 // 2 sources, "Embedded interface"
+	flightFirstFree    = 29
+	flightRosterMin    = 32
+)
+
+// flightTailAttrs completes the 15 global attributes of Table 1.
+const flightTailAttrs = 15 - numFlightAttrs
+
+// FlightGenerator simulates the paper's Flight collection. Construct with
+// NewFlight; the zero value is not usable.
+type FlightGenerator struct {
+	cfg      FlightConfig
+	world    *flightWorld
+	ds       *model.Dataset
+	profiles []SourceProfile
+	groups   []CopyGroup
+	goldObjs []model.ObjectID
+	fused    []model.SourceID
+	auths    []model.SourceID
+
+	airportOf []int    // airport source index -> airport code index
+	covered   [][]bool // covered[source][flight]
+
+	localAttrs int
+}
+
+// NewFlight builds the world, roster and dataset skeleton.
+func NewFlight(cfg FlightConfig) *FlightGenerator {
+	if cfg.Sources < flightRosterMin {
+		panic(fmt.Sprintf("datagen: flight roster needs at least %d sources", flightRosterMin))
+	}
+	if cfg.GoldFlights > cfg.Flights {
+		panic("datagen: more gold flights than flights")
+	}
+	g := &FlightGenerator{cfg: cfg, world: newFlightWorld(cfg)}
+	g.buildDataset()
+	g.buildRoster()
+	g.buildCoverage()
+	g.pickGoldObjects()
+	return g
+}
+
+// Dataset returns the dataset skeleton shared by all snapshots.
+func (g *FlightGenerator) Dataset() *model.Dataset { return g.ds }
+
+// CopyGroups returns the planted copying cliques.
+func (g *FlightGenerator) CopyGroups() []CopyGroup { return g.groups }
+
+// Profiles returns the behavioural profile of every source.
+func (g *FlightGenerator) Profiles() []SourceProfile { return g.profiles }
+
+// Authorities returns the three airline sites whose data form the gold
+// standard.
+func (g *FlightGenerator) Authorities() []model.SourceID { return g.auths }
+
+// FusedSources returns the sources participating in fusion (everything but
+// the airline sites).
+func (g *FlightGenerator) FusedSources() []model.SourceID { return g.fused }
+
+// GoldObjects returns the flights covered by the gold standard.
+func (g *FlightGenerator) GoldObjects() []model.ObjectID { return g.goldObjs }
+
+// LocalAttrCount returns the number of source-local attribute names.
+func (g *FlightGenerator) LocalAttrCount() int { return g.localAttrs }
+
+func (g *FlightGenerator) buildDataset() {
+	ds := model.NewDataset("Flight")
+	kinds := [numFlightAttrs]value.Kind{
+		value.Time, value.Time, value.Time, value.Time, value.Text, value.Text,
+	}
+	for a := 0; a < numFlightAttrs; a++ {
+		ds.AddAttr(model.Attribute{
+			Name:       flightAttrNames[a],
+			Kind:       kinds[a],
+			Considered: true,
+			RealTime:   a == faActDep || a == faActArr,
+		})
+	}
+	for t := 0; t < flightTailAttrs; t++ {
+		ds.AddAttr(model.Attribute{Name: fmt.Sprintf("Tail attribute %d", t+1), Kind: value.Text})
+	}
+	for f := 0; f < g.cfg.Flights; f++ {
+		ds.AddObject(model.Object{
+			Key:   g.world.key[f],
+			Group: airlineNames[g.world.airline[f]],
+		})
+	}
+	for f := 0; f < g.cfg.Flights; f++ {
+		for a := 0; a < numFlightAttrs; a++ {
+			ds.ItemFor(model.ObjectID(f), model.AttrID(a))
+		}
+	}
+	g.ds = ds
+}
+
+var flightAttrPopularity = [numFlightAttrs]float64{
+	faSchedDep: 0.90, faActDep: 0.85, faSchedArr: 0.82,
+	faActArr: 0.85, faDepGate: 0.68, faArrGate: 0.62,
+}
+
+func (g *FlightGenerator) buildRoster() {
+	n := g.cfg.Sources
+	g.profiles = make([]SourceProfile, n)
+	for i := range g.profiles {
+		g.profiles[i] = SourceProfile{
+			CopyOf:         model.NoSource,
+			FrozenDay:      math.MinInt32,
+			SystematicAttr: -1,
+		}
+	}
+
+	set := func(idx int, name string, target float64, authority bool) *SourceProfile {
+		p := &g.profiles[idx]
+		p.Name = name
+		p.TargetAccuracy = target
+		p.Authority = authority
+		return p
+	}
+	set(0, "AA-site", 0.99, true)
+	set(1, "UA-site", 0.99, true)
+	set(2, "CO-site", 0.99, true)
+	set(flightOrbitz, "Orbitz", 0.98, false)
+	set(flightTravelocity, "Travelocity", 0.95, false)
+	for i := 0; i < flightNumAirports; i++ {
+		set(flightAirportFirst+i, fmt.Sprintf("%s-airport",
+			airportCodes[numHubAirports+i]), 0.94, false)
+	}
+
+	type clique struct {
+		origin, size int
+		target       float64
+		remark       string
+		namefmt      string
+	}
+	cliques := []clique{
+		{flightG1Origin, 5, 0.71, "Depen claimed", "FlightAlliance%d"},
+		{flightG2Origin, 4, 0.53, "Query redirection", "FlightRelay%d"},
+		{flightG3Origin, 3, 0.92, "Depen claimed", "AeroPartner%d"},
+		{flightG4Origin, 2, 0.93, "Embedded interface", "SkedEmbed%d"},
+		{flightG5Origin, 2, 0.61, "Embedded interface", "GateWidget%d"},
+	}
+	for _, c := range cliques {
+		for i := 0; i < c.size; i++ {
+			idx := c.origin + i
+			p := set(idx, fmt.Sprintf(c.namefmt, i+1), c.target, false)
+			if idx != c.origin {
+				p.CopyOf = model.SourceID(c.origin)
+				p.CopyRate = 1.0 // Table 5: value similarity 1.0 on Flight
+			} else {
+				// Clique origins always track the actual times — those are
+				// the attributes whose copied wrong values break VOTE.
+				p.Attrs = []model.AttrID{faSchedDep, faActDep, faSchedArr, faActArr}
+				if c.origin == flightG5Origin {
+					p.Attrs = append(p.Attrs, faDepGate, faArrGate)
+				}
+			}
+		}
+		g.groups = append(g.groups, CopyGroup{
+			Remark:  c.remark,
+			Origin:  model.SourceID(c.origin),
+			Members: sourceRange(c.origin, c.size),
+		})
+	}
+
+	filler := 0
+	for idx := flightFirstFree; idx < n; idx++ {
+		r := newRNG(g.cfg.Seed, 0x15, uint64(idx))
+		set(idx, fmt.Sprintf("FlightBoard%02d", filler+1), r.Uniform(0.43, 0.95), false)
+		filler++
+	}
+	// The FlightAware analogue: systematically wrong scheduled arrivals
+	// (the Figure 5 anecdote).
+	if n > flightFirstFree+1 {
+		p := &g.profiles[flightFirstFree+1]
+		p.Name = "FlightAwareish"
+		p.SystematicAttr = faSchedArr
+	}
+	// One source with strong day-to-day quality swings (Figure 8b).
+	if n > flightFirstFree+2 {
+		p := &g.profiles[flightFirstFree+2]
+		p.BadDayRate, p.BadDayFactor = 0.35, 8
+	}
+
+	for idx := range g.profiles {
+		g.deriveFlightKnobs(idx)
+	}
+
+	// Clique-origin specials. The two low-accuracy cliques are the paper's
+	// headline Flight phenomenon: their shared wrong values (stale
+	// estimates and outright errors, replicated by every member) become
+	// dominant on many items, breaking VOTE while copy-aware fusion
+	// recovers. The G1 clique additionally reports runway rather than gate
+	// times (semantics ambiguity).
+	g1 := &g.profiles[flightG1Origin]
+	g1.Variant[faActDep] = 1
+	g1.StaleRate, g1.ErrRate = 0.40, 0.05
+	g2 := &g.profiles[flightG2Origin]
+	g2.Variant = map[model.AttrID]int{faActDep: 1}
+	g2.StaleRate, g2.ErrRate = 0.55, 0.15
+	g5 := &g.profiles[flightG5Origin]
+	g5.StaleRate, g5.ErrRate = 0.40, 0.25
+
+	// Register sources, schemas, and local-name statistics.
+	localNames := make(map[[2]int]struct{})
+	schemas := make([][]model.AttrID, len(g.profiles))
+	for idx := range g.profiles {
+		p := &g.profiles[idx]
+		r := newRNG(g.cfg.Seed, 0x16, uint64(idx))
+		if p.CopyOf != model.NoSource {
+			origin := &g.profiles[p.CopyOf]
+			p.Attrs = append([]model.AttrID(nil), origin.Attrs...)
+			// Table 5: flight cliques have schema similarity around .8 —
+			// copiers occasionally drop or re-add one attribute.
+			if len(p.Attrs) > 3 && r.Bool(0.5) {
+				drop := r.Intn(len(p.Attrs))
+				p.Attrs = append(p.Attrs[:drop], p.Attrs[drop+1:]...)
+			}
+			schema := append([]model.AttrID(nil), p.Attrs...)
+			for _, a := range schemas[p.CopyOf] {
+				if int(a) >= numFlightAttrs {
+					schema = append(schema, a)
+				}
+			}
+			schemas[idx] = schema
+			g.registerFlightSource(p, schema, localNames, &r)
+			continue
+		} else if p.Authority {
+			for a := 0; a < numFlightAttrs; a++ {
+				p.Attrs = append(p.Attrs, model.AttrID(a))
+			}
+		} else if p.Attrs == nil {
+			breadth := r.Uniform(0.7, 1.3)
+			for a := 0; a < numFlightAttrs; a++ {
+				prob := flightAttrPopularity[a] * breadth
+				if a == faSchedDep {
+					prob = math.Max(prob, 0.9)
+				}
+				if r.Bool(math.Min(0.98, prob)) {
+					p.Attrs = append(p.Attrs, model.AttrID(a))
+				}
+			}
+			if len(p.Attrs) < 4 {
+				p.Attrs = []model.AttrID{faSchedDep, faActDep, faSchedArr, faActArr}
+			}
+		}
+		schema := append([]model.AttrID(nil), p.Attrs...)
+		for t := 0; t < flightTailAttrs; t++ {
+			pop := 0.65 / math.Pow(float64(t+1), 0.9)
+			if r.Bool(pop) {
+				schema = append(schema, model.AttrID(numFlightAttrs+t))
+			}
+		}
+		schemas[idx] = schema
+		g.registerFlightSource(p, schema, localNames, &r)
+	}
+	g.localAttrs = len(localNames)
+
+	g.auths = []model.SourceID{0, 1, 2}
+	for idx := 3; idx < n; idx++ {
+		g.fused = append(g.fused, model.SourceID(idx))
+	}
+}
+
+// registerFlightSource adds one source to the dataset and records its
+// local attribute names for the Table 1 statistics.
+func (g *FlightGenerator) registerFlightSource(p *SourceProfile, schema []model.AttrID,
+	localNames map[[2]int]struct{}, r *rng) {
+	for _, a := range schema {
+		nameVariants := 1 + int(a)%3
+		localNames[[2]int{int(a), r.Intn(nameVariants)}] = struct{}{}
+	}
+	g.ds.AddSource(model.Source{
+		Name:       p.Name,
+		Authority:  p.Authority,
+		Schema:     schema,
+		LocalAttrs: len(schema),
+	})
+}
+
+func (g *FlightGenerator) deriveFlightKnobs(idx int) {
+	p := &g.profiles[idx]
+	r := newRNG(g.cfg.Seed, 0x17, uint64(idx))
+	budget := 1 - p.TargetAccuracy
+
+	// Semantic variants cost roughly .19 accuracy each (two of ~4.5
+	// provided attributes, ~85% of taxi offsets beyond the 10-minute
+	// tolerance), so only sources with enough error budget adopt one.
+	p.Variant = make(map[model.AttrID]int)
+	if !p.Authority && budget >= 0.12 {
+		pVar := math.Min(0.5, budget*0.9)
+		if r.Bool(pVar) {
+			p.Variant[faActDep] = 1
+		}
+		if r.Bool(pVar) {
+			p.Variant[faActArr] = 1
+		}
+	}
+	variantLoss := float64(len(p.Variant)) / 4.5 * 0.85
+	rem := budget - variantLoss
+	if rem < 0.004 {
+		rem = 0.004
+	}
+	// Staleness converts to wrongness only when the flight is delayed,
+	// rescheduled or re-gated (effectiveness ~.3); pure errors land outside
+	// tolerance ~80% of the time. Staleness dominates the split because
+	// stale estimates collide into shared buckets (scheduled times, usual
+	// gates), matching the paper's low value counts per item.
+	p.StaleRate = clamp01(rem * r.Uniform(0.60, 0.80) / 0.30)
+	p.ErrRate = clamp01(rem * r.Uniform(0.15, 0.30) / 0.80)
+	p.Gran = make(map[model.AttrID]float64) // flight values carry no rounding
+}
+
+func (g *FlightGenerator) buildCoverage() {
+	g.airportOf = make([]int, len(g.profiles))
+	for i := range g.airportOf {
+		g.airportOf[i] = -1
+	}
+	for i := 0; i < flightNumAirports; i++ {
+		g.airportOf[flightAirportFirst+i] = numHubAirports + i
+	}
+
+	// Object-coverage targets per roster slot.
+	g.covered = make([][]bool, len(g.profiles))
+	for idx := range g.profiles {
+		p := &g.profiles[idx]
+		r := newRNG(g.cfg.Seed, 0x18, uint64(idx))
+		cov := make([]bool, g.cfg.Flights)
+		switch {
+		case p.Authority:
+			p.ObjCoverage = 1
+			for f := 0; f < g.cfg.Flights; f++ {
+				cov[f] = g.world.airline[f] == idx
+			}
+		case g.airportOf[idx] >= 0:
+			ap := g.airportOf[idx]
+			for f := 0; f < g.cfg.Flights; f++ {
+				cov[f] = g.world.depAirport[f] == ap || g.world.arrAirport[f] == ap
+			}
+			p.ObjCoverage = covFraction(cov)
+		case p.CopyOf != model.NoSource:
+			copy(cov, g.covered[p.CopyOf]) // Table 5: object similarity 1.0
+			p.ObjCoverage = g.profiles[p.CopyOf].ObjCoverage
+		default:
+			switch idx {
+			case flightOrbitz:
+				p.ObjCoverage = 0.93
+			case flightTravelocity:
+				p.ObjCoverage = 0.78
+			case flightG1Origin:
+				p.ObjCoverage = 0.52
+			case flightG2Origin:
+				p.ObjCoverage = 0.42
+			case flightG3Origin:
+				p.ObjCoverage = 0.55
+			case flightG4Origin:
+				p.ObjCoverage = 0.65
+			case flightG5Origin:
+				p.ObjCoverage = 0.25
+			default:
+				// Coverage anti-correlates with error mass: low-quality
+				// boards track fewer flights, which is what lets the
+				// paper's collection pair .80 mean source accuracy with a
+				// 61% single-value share.
+				quality := (p.TargetAccuracy - 0.43) / 0.52
+				p.ObjCoverage = math.Min(0.88, math.Max(0.15,
+					(0.26+0.60*quality)*r.Uniform(0.85, 1.15)))
+			}
+			for f := 0; f < g.cfg.Flights; f++ {
+				cov[f] = r.Bool(p.ObjCoverage)
+			}
+		}
+		g.covered[idx] = cov
+	}
+}
+
+func covFraction(cov []bool) float64 {
+	n := 0
+	for _, c := range cov {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(cov))
+}
+
+func (g *FlightGenerator) pickGoldObjects() {
+	r := newRNG(g.cfg.Seed, 0x19)
+	perm := r.Perm(g.cfg.Flights)
+	for _, f := range perm[:g.cfg.GoldFlights] {
+		g.goldObjs = append(g.goldObjs, model.ObjectID(f))
+	}
+}
+
+// Truth returns the world ground truth for every item on the given day.
+func (g *FlightGenerator) Truth(day int) *model.TruthTable {
+	t := model.NewTruthTable()
+	for f := 0; f < g.cfg.Flights; f++ {
+		for a := 0; a < numFlightAttrs; a++ {
+			item, _ := g.ds.LookupItem(model.ObjectID(f), model.AttrID(a))
+			if isFlightTimeAttr(a) {
+				t.Set(item, value.Minutes(g.world.truthTime(f, a, day)))
+			} else {
+				t.Set(item, value.Str(g.world.truthGate(f, a, day)))
+			}
+		}
+	}
+	return t
+}
+
+// Snapshot generates all claims of one collection day.
+func (g *FlightGenerator) Snapshot(day int) *model.Snapshot {
+	claims := make([]model.Claim, 0, len(g.profiles)*g.cfg.Flights/2)
+	cache := make(map[model.SourceID][]cachedClaim)
+	for _, grp := range g.groups {
+		cache[grp.Origin] = make([]cachedClaim, len(g.ds.Items))
+	}
+
+	for idx := range g.profiles {
+		p := &g.profiles[idx]
+		src := model.SourceID(idx)
+		mood := 1.0
+		if p.BadDayRate > 0 {
+			rm := newRNG(g.cfg.Seed, 0x1a, uint64(idx), uint64(day))
+			if rm.Bool(p.BadDayRate) {
+				mood = p.BadDayFactor
+			}
+		}
+		originCache := cache[p.CopyOf]
+		myCache := cache[src]
+		for f := 0; f < g.cfg.Flights; f++ {
+			if !g.covered[idx][f] {
+				continue
+			}
+			r := newRNG(g.cfg.Seed, 0x1b, uint64(idx), uint64(f), uint64(day))
+			for _, attr := range p.Attrs {
+				item, _ := g.ds.LookupItem(model.ObjectID(f), attr)
+				copied := model.NoSource
+				var val value.Value
+				var cause model.Cause
+				if originCache != nil && r.Bool(p.CopyRate) && originCache[item].has {
+					cc := originCache[item]
+					val, cause = cc.val, cc.cause
+					copied = p.CopyOf
+				} else {
+					val, cause = g.claimValue(p, f, int(attr), day, mood, &r)
+				}
+				claims = append(claims, model.Claim{
+					Source: src, Item: item, Val: val,
+					Cause: cause, CopiedFrom: copied,
+				})
+				if myCache != nil {
+					myCache[item] = cachedClaim{has: true, val: val, cause: cause}
+				}
+			}
+		}
+	}
+	return model.NewSnapshot(day, fmt.Sprintf("2011-12-%02d", day+1), len(g.ds.Items), claims)
+}
+
+// claimValue produces one independent flight claim and labels its cause.
+func (g *FlightGenerator) claimValue(p *SourceProfile, f, attr, day int, mood float64, r *rng) (value.Value, model.Cause) {
+	stale := r.Bool(math.Min(0.9, p.StaleRate*mood))
+	pure := r.Bool(math.Min(0.9, p.ErrRate*mood))
+
+	if !isFlightTimeAttr(attr) {
+		truth := g.world.truthGate(f, attr, day)
+		val := truth
+		cause := model.CauseNone
+		switch {
+		case pure:
+			val = gateName(r)
+			cause = model.CauseError
+		case stale:
+			// A stale source shows the flight's usual gate, not today's.
+			if attr == faDepGate {
+				val = g.world.baseDep[f]
+			} else {
+				val = g.world.baseArr[f]
+			}
+			if val != truth {
+				cause = model.CauseStale
+			}
+		}
+		if val == truth {
+			cause = model.CauseNone
+		}
+		return value.Str(val), cause
+	}
+
+	variant := p.Variant[model.AttrID(attr)]
+	t := g.world.variantTime(f, attr, day, variant)
+	staleApplied := false
+	if stale {
+		// A stale source still shows the estimate: scheduled instead of
+		// actual times, the pre-change schedule for schedule attributes.
+		switch attr {
+		case faActDep:
+			t = g.world.schedDep(f, day)
+			staleApplied = true
+		case faActArr:
+			t = g.world.schedArr(f, day)
+			staleApplied = true
+		case faSchedDep:
+			if g.world.shiftDay[f] >= 0 && day >= g.world.shiftDay[f] {
+				t = g.world.schedDep0[f]
+				staleApplied = true
+			}
+		case faSchedArr:
+			if g.world.shiftDay[f] >= 0 && day >= g.world.shiftDay[f] {
+				t = g.world.schedDep0[f] + g.world.duration[f]
+				staleApplied = true
+			}
+		}
+	}
+	systematic := false
+	if model.AttrID(attr) == p.SystematicAttr {
+		// Per-flight fixed corruption: the FlightAware-style source is
+		// consistently wrong on this attribute for this flight.
+		rs := newRNG(g.cfg.Seed, 0x1c, uint64(f))
+		t += pickSign(&rs) * (12 + rs.Exp(25))
+		systematic = true
+	}
+	if pure {
+		if r.Bool(0.75) {
+			t += pickSign(r) * r.Uniform(10, 25)
+		} else {
+			t += pickSign(r) * r.Uniform(25, 75)
+		}
+	}
+	val := value.Minutes(math.Round(t))
+
+	truth := g.world.truthTime(f, attr, day)
+	if math.Abs(val.Num-truth) <= value.DefaultTimeToleranceMinutes {
+		return val, model.CauseNone
+	}
+	switch {
+	case pure || systematic:
+		return val, model.CauseError
+	case variant != 0:
+		return val, model.CauseSemantic
+	case staleApplied:
+		return val, model.CauseStale
+	default:
+		return val, model.CauseError
+	}
+}
+
+// GenerateFlight runs the full Flight simulation.
+func GenerateFlight(cfg FlightConfig) *Generated {
+	g := NewFlight(cfg)
+	out := &Generated{
+		Dataset:     g.ds,
+		CopyGroups:  g.groups,
+		Authorities: g.auths,
+		Fused:       g.fused,
+		GoldObjects: g.goldObjs,
+		Profiles:    g.profiles,
+	}
+	for d := 0; d < cfg.Days; d++ {
+		out.Dataset.AddSnapshot(g.Snapshot(d))
+		out.Truths = append(out.Truths, g.Truth(d))
+	}
+	out.Dataset.ComputeTolerances(value.DefaultAlpha, out.Dataset.Snapshots[0])
+	return out
+}

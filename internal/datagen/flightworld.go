@@ -1,0 +1,232 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flight attribute indices (the paper's six popular Flight attributes).
+const (
+	faSchedDep = iota
+	faActDep
+	faSchedArr
+	faActArr
+	faDepGate
+	faArrGate
+	numFlightAttrs
+)
+
+var flightAttrNames = [numFlightAttrs]string{
+	"Scheduled departure", "Actual departure", "Scheduled arrival",
+	"Actual arrival", "Departure gate", "Arrival gate",
+}
+
+// The three carriers of the paper (AA, UA, Continental) and their hubs.
+var airlineNames = [3]string{"AA", "UA", "CO"}
+
+var airportCodes = []string{
+	// Hubs (indices 0..6) used by the three carriers.
+	"DFW", "ORD", "MIA", "DEN", "SFO", "IAH", "EWR",
+	// Spoke airports.
+	"ATL", "BOS", "JFK", "LGA", "DCA", "PHL", "CLT", "MCO", "TPA", "FLL",
+	"DTW", "MSP", "STL", "MCI", "AUS", "SAT", "ELP", "PHX", "LAS", "SAN",
+	"LAX", "SEA", "PDX", "SLC", "ABQ", "OKC", "TUL", "MEM", "BNA", "SDF",
+	"CMH", "CLE", "PIT", "BUF", "RDU", "JAX", "MSY", "OMA",
+}
+
+const numHubAirports = 7
+
+var airlineHubs = [3][]int{
+	{0, 1, 2}, // AA: DFW, ORD, MIA
+	{1, 3, 4}, // UA: ORD, DEN, SFO
+	{5, 6},    // CO: IAH, EWR
+}
+
+// flightWorld holds the ground truth for every flight and day.
+type flightWorld struct {
+	cfg FlightConfig
+
+	// Per flight.
+	airline    []int
+	key        []string
+	depAirport []int
+	arrAirport []int
+	schedDep0  []float64 // scheduled departure before any mid-month change
+	shiftDay   []int     // day the schedule changed (-1 = never)
+	shift      []float64 // schedule change in minutes
+	duration   []float64
+
+	// Per flight x day (index flight*Days+day).
+	depDelay []float64
+	arrDelay []float64
+	taxiOut  []float64
+	taxiIn   []float64
+	depGate  []string
+	arrGate  []string
+	baseDep  []string // per flight: the usual gate (stale sources show it)
+	baseArr  []string
+}
+
+func newFlightWorld(cfg FlightConfig) *flightWorld {
+	n := cfg.Flights
+	w := &flightWorld{
+		cfg:        cfg,
+		airline:    make([]int, n),
+		key:        make([]string, n),
+		depAirport: make([]int, n),
+		arrAirport: make([]int, n),
+		schedDep0:  make([]float64, n),
+		shiftDay:   make([]int, n),
+		shift:      make([]float64, n),
+		duration:   make([]float64, n),
+		baseDep:    make([]string, n),
+		baseArr:    make([]string, n),
+	}
+	size := n * cfg.Days
+	w.depDelay = make([]float64, size)
+	w.arrDelay = make([]float64, size)
+	w.taxiOut = make([]float64, size)
+	w.taxiIn = make([]float64, size)
+	w.depGate = make([]string, size)
+	w.arrGate = make([]string, size)
+
+	for f := 0; f < n; f++ {
+		r := newRNG(cfg.Seed, 0x46, uint64(f))
+		al := r.Pick([]float64{0.40, 0.35, 0.25})
+		w.airline[f] = al
+		hubs := airlineHubs[al]
+		hub := hubs[r.Intn(len(hubs))]
+		spoke := numHubAirports + r.Intn(len(airportCodes)-numHubAirports)
+		if r.Bool(0.5) {
+			w.depAirport[f], w.arrAirport[f] = hub, spoke
+		} else {
+			w.depAirport[f], w.arrAirport[f] = spoke, hub
+		}
+		w.key[f] = fmt.Sprintf("%s%d@%s", airlineNames[al], 100+f,
+			airportCodes[w.depAirport[f]])
+		// Scheduled departure between 05:00 and 21:55, on a 5-minute grid.
+		w.schedDep0[f] = float64(300 + 5*r.Intn((1315-300)/5))
+		w.duration[f] = float64(60 + 5*r.Intn(60))
+		if w.schedDep0[f]+w.duration[f] > 1430 {
+			w.duration[f] = 1430 - w.schedDep0[f]
+		}
+		w.shiftDay[f] = -1
+		if r.Bool(0.20) {
+			w.shiftDay[f] = 5 + r.Intn(cfg.Days)
+			w.shift[f] = pickSign(&r) * float64(5+5*r.Intn(6))
+		}
+		w.baseDep[f] = gateName(&r)
+		w.baseArr[f] = gateName(&r)
+
+		for d := 0; d < cfg.Days; d++ {
+			i := f*cfg.Days + d
+			// Delay mixture: mostly on time, an exponential tail, and a few
+			// badly delayed flights — mean around 18 minutes.
+			var delay float64
+			switch r.Pick([]float64{0.45, 0.40, 0.12, 0.03}) {
+			case 0:
+				delay = r.Uniform(-5, 6)
+			case 1:
+				delay = r.Exp(22)
+			case 2:
+				delay = r.Uniform(45, 120)
+			default:
+				delay = r.Uniform(120, 280)
+			}
+			w.depDelay[i] = math.Round(delay)
+			w.arrDelay[i] = math.Round(delay + r.Norm()*8 - r.Uniform(0, 10))
+			w.taxiOut[i] = math.Round(r.Uniform(10, 26))
+			w.taxiIn[i] = math.Round(r.Uniform(6, 18))
+			w.depGate[i] = w.baseDep[f]
+			w.arrGate[i] = w.baseArr[f]
+			if r.Bool(0.25) {
+				w.depGate[i] = gateName(&r)
+			}
+			if r.Bool(0.25) {
+				w.arrGate[i] = gateName(&r)
+			}
+		}
+	}
+	return w
+}
+
+func pickSign(r *rng) float64 {
+	if r.Bool(0.5) {
+		return -1
+	}
+	return 1
+}
+
+func gateName(r *rng) string {
+	return fmt.Sprintf("%c%d", 'A'+byte(r.Intn(5)), 1+r.Intn(40))
+}
+
+// schedDep returns the scheduled departure in effect on the given day.
+func (w *flightWorld) schedDep(f, day int) float64 {
+	if w.shiftDay[f] >= 0 && day >= w.shiftDay[f] {
+		return w.schedDep0[f] + w.shift[f]
+	}
+	return w.schedDep0[f]
+}
+
+func (w *flightWorld) schedArr(f, day int) float64 {
+	return w.schedDep(f, day) + w.duration[f]
+}
+
+// truthTime returns the true value of a time attribute on the given day.
+func (w *flightWorld) truthTime(f, attr, day int) float64 {
+	i := f*w.cfg.Days + day
+	switch attr {
+	case faSchedDep:
+		return w.schedDep(f, day)
+	case faActDep:
+		return w.schedDep(f, day) + w.depDelay[i]
+	case faSchedArr:
+		return w.schedArr(f, day)
+	case faActArr:
+		return w.schedArr(f, day) + w.arrDelay[i]
+	default:
+		panic(fmt.Sprintf("datagen: flight attr %d is not a time", attr))
+	}
+}
+
+// truthGate returns the true value of a gate attribute on the given day.
+func (w *flightWorld) truthGate(f, attr, day int) string {
+	i := f*w.cfg.Days + day
+	switch attr {
+	case faDepGate:
+		return w.depGate[i]
+	case faArrGate:
+		return w.arrGate[i]
+	default:
+		panic(fmt.Sprintf("datagen: flight attr %d is not a gate", attr))
+	}
+}
+
+// variantTime applies the semantic variants of the Flight domain: variant 1
+// of the actual times reports runway (takeoff/landing) rather than gate
+// times, which is the paper's leading example of semantics ambiguity.
+func (w *flightWorld) variantTime(f, attr, day, variant int) float64 {
+	t := w.truthTime(f, attr, day)
+	i := f*w.cfg.Days + day
+	if variant == 1 {
+		switch attr {
+		case faActDep:
+			return t + w.taxiOut[i]
+		case faActArr:
+			return t - w.taxiIn[i]
+		}
+	}
+	return t
+}
+
+func flightVariantCount(attr int) int {
+	switch attr {
+	case faActDep, faActArr:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func isFlightTimeAttr(attr int) bool { return attr < faDepGate }

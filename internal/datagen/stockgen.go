@@ -1,0 +1,776 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// Fixed roster positions for the Stock domain. Authorities come first (they
+// feed the gold standard), then the StockSmart analogue (frozen since about
+// a month before the window), then the two copying cliques of Table 5.
+const (
+	stockAuthGoogle    = 0
+	stockAuthYahoo     = 1
+	stockAuthNasdaq    = 2
+	stockAuthMSN       = 3
+	stockAuthBloomberg = 4
+	stockSmart         = 5
+	stockFirstFree     = 6
+	stockCliqueAOrigin = 20 // 11 sources backed by the FinancialContent feed
+	stockCliqueASize   = 11
+	stockCliqueBOrigin = 31 // 2 merged websites
+	stockCliqueBSize   = 2
+	stockRosterMin     = 35
+)
+
+// stockTailAttrs is the number of non-considered global attributes, chosen
+// so the schema statistics match Table 1 (153 global attributes in total).
+const stockTailAttrs = 153 - numStockAttrs
+
+// StockGenerator simulates the paper's Stock collection. Construct with
+// NewStock; the zero value is not usable.
+type StockGenerator struct {
+	cfg      StockConfig
+	world    *stockWorld
+	ds       *model.Dataset
+	profiles []SourceProfile
+	groups   []CopyGroup
+	goldObjs []model.ObjectID
+	fused    []model.SourceID
+	auths    []model.SourceID
+
+	labelTol [numStockAttrs]float64 // truth-based tolerances for cause labels
+	covered  [][]bool               // covered[source][object], day-independent
+
+	localAttrs int
+}
+
+// NewStock builds the world series, the source roster and the dataset
+// skeleton (no snapshots). All randomness derives from cfg.Seed.
+func NewStock(cfg StockConfig) *StockGenerator {
+	if cfg.Stocks <= numTerminated {
+		panic(fmt.Sprintf("datagen: need more than %d stocks", numTerminated))
+	}
+	if cfg.Sources < stockRosterMin {
+		panic(fmt.Sprintf("datagen: stock roster needs at least %d sources", stockRosterMin))
+	}
+	if cfg.GoldSymbols > cfg.Stocks-numTerminated {
+		panic("datagen: more gold symbols than living stocks")
+	}
+	g := &StockGenerator{cfg: cfg, world: newStockWorld(cfg)}
+	g.buildDataset()
+	g.buildRoster()
+	g.buildCoverage()
+	g.computeLabelTolerances()
+	g.pickGoldObjects()
+	return g
+}
+
+// Dataset returns the dataset skeleton shared by all snapshots. Callers may
+// append snapshots to it.
+func (g *StockGenerator) Dataset() *model.Dataset { return g.ds }
+
+// CopyGroups returns the planted copying cliques.
+func (g *StockGenerator) CopyGroups() []CopyGroup { return g.groups }
+
+// Profiles returns the behavioural profile of every source.
+func (g *StockGenerator) Profiles() []SourceProfile { return g.profiles }
+
+// Authorities returns the five authority sources used for the gold standard.
+func (g *StockGenerator) Authorities() []model.SourceID { return g.auths }
+
+// FusedSources returns the sources participating in fusion (all of them in
+// the Stock domain).
+func (g *StockGenerator) FusedSources() []model.SourceID { return g.fused }
+
+// GoldObjects returns the symbols covered by the gold standard.
+func (g *StockGenerator) GoldObjects() []model.ObjectID { return g.goldObjs }
+
+// LocalAttrCount returns the number of source-local attribute names across
+// the roster (Table 1's "Local attrs").
+func (g *StockGenerator) LocalAttrCount() int { return g.localAttrs }
+
+func (g *StockGenerator) buildDataset() {
+	ds := model.NewDataset("Stock")
+	for a := 0; a < numStockAttrs; a++ {
+		ds.AddAttr(model.Attribute{
+			Name:       stockAttrNames[a],
+			Kind:       value.Number,
+			Considered: true,
+			RealTime:   stockRealTime[a],
+		})
+	}
+	for t := 0; t < stockTailAttrs; t++ {
+		ds.AddAttr(model.Attribute{Name: fmt.Sprintf("Tail attribute %d", t+1), Kind: value.Number})
+	}
+	for s := 0; s < g.cfg.Stocks; s++ {
+		group := "RUSSELL3000"
+		if s < 100 {
+			group = "NASDAQ100"
+		} else if s < 130 {
+			group = "DOWJONES"
+		}
+		ds.AddObject(model.Object{Key: stockSymbol(s), Group: group})
+	}
+	// Item layout: object-major, considered attributes in declaration order.
+	for s := 0; s < g.cfg.Stocks; s++ {
+		for a := 0; a < numStockAttrs; a++ {
+			ds.ItemFor(model.ObjectID(s), model.AttrID(a))
+		}
+	}
+	g.ds = ds
+}
+
+// stockAttrPopularity is the roster-wide adoption probability of each
+// considered attribute, tuned so the average item-level redundancy lands
+// near the paper's 66%.
+var stockAttrPopularity = [numStockAttrs]float64{
+	saLast: 0.95, saOpen: 0.85, saChangePct: 0.80, saChangeAbs: 0.70,
+	saMarketCap: 0.62, saVolume: 0.90, saHigh: 0.80, saLow: 0.80,
+	saDividend: 0.60, saYield: 0.55, saHigh52: 0.65, saLow52: 0.65,
+	saEPS: 0.55, saPE: 0.60, saShares: 0.45, saPrevClose: 0.90,
+}
+
+func (g *StockGenerator) buildRoster() {
+	n := g.cfg.Sources
+	g.profiles = make([]SourceProfile, n)
+	for i := range g.profiles {
+		g.profiles[i] = SourceProfile{
+			CopyOf:    model.NoSource,
+			FrozenDay: math.MinInt32,
+		}
+	}
+
+	type fixed struct {
+		idx       int
+		name      string
+		target    float64
+		authority bool
+	}
+	fixedRoster := []fixed{
+		{stockAuthGoogle, "GoogleFinance", 0.95, true},
+		{stockAuthYahoo, "YahooFinance", 0.94, true},
+		{stockAuthNasdaq, "NASDAQ", 0.93, true},
+		{stockAuthMSN, "MSNMoney", 0.92, true},
+		{stockAuthBloomberg, "Bloomberg", 0.92, true}, // semantics drags it to ~.83
+		{stockSmart, "StockSmart", 0.95, false},       // frozen -> realised ~.06
+	}
+	for _, f := range fixedRoster {
+		p := &g.profiles[f.idx]
+		p.Name = f.name
+		p.Authority = f.authority
+		p.TargetAccuracy = f.target
+	}
+	g.profiles[stockSmart].Frozen = true
+	g.profiles[stockSmart].FrozenDay = -22
+	// StockSmart carries a fast-moving, price-heavy schema, so freezing it
+	// destroys nearly all of its accuracy (the paper measures .06).
+	g.profiles[stockSmart].Attrs = []model.AttrID{
+		saLast, saOpen, saChangePct, saChangeAbs, saMarketCap, saVolume,
+		saHigh, saLow, saPE, saPrevClose,
+	}
+
+	// Clique A: eleven near-identical sources fed by one market-data
+	// service. The feed carries market data only (no fundamentals), so the
+	// clique's eleven votes do not prop up the authority semantics on the
+	// ambiguous statistical attributes.
+	for i := 0; i < stockCliqueASize; i++ {
+		idx := stockCliqueAOrigin + i
+		p := &g.profiles[idx]
+		p.Name = fmt.Sprintf("FinContent%02d", i+1)
+		p.TargetAccuracy = 0.92
+		if idx != stockCliqueAOrigin {
+			p.CopyOf = model.SourceID(stockCliqueAOrigin)
+			p.CopyRate = 0.99
+		} else {
+			p.Attrs = []model.AttrID{
+				saLast, saOpen, saChangePct, saChangeAbs, saVolume,
+				saHigh, saLow, saHigh52, saLow52, saMarketCap, saPrevClose,
+			}
+		}
+	}
+	// Clique B: two websites that merged and serve the same data.
+	for i := 0; i < stockCliqueBSize; i++ {
+		idx := stockCliqueBOrigin + i
+		p := &g.profiles[idx]
+		p.Name = fmt.Sprintf("MergedQuotes%d", i+1)
+		p.TargetAccuracy = 0.75
+		if idx != stockCliqueBOrigin {
+			p.CopyOf = model.SourceID(stockCliqueBOrigin)
+			p.CopyRate = 0.99
+		}
+	}
+	g.groups = []CopyGroup{
+		{Remark: "Depen claimed", Origin: stockCliqueAOrigin,
+			Members: sourceRange(stockCliqueAOrigin, stockCliqueASize)},
+		{Remark: "Depen claimed", Origin: stockCliqueBOrigin,
+			Members: sourceRange(stockCliqueBOrigin, stockCliqueBSize)},
+	}
+
+	// Independent fillers: a good tier, a mid tier, and a low tier whose
+	// accuracies spread over the paper's observed range (.54-.97, mean .86).
+	lowTier := []int{n - 3, n - 2, n - 1}
+	filler := 0
+	for idx := 0; idx < n; idx++ {
+		p := &g.profiles[idx]
+		if p.Name != "" {
+			continue
+		}
+		r := newRNG(g.cfg.Seed, 0x05, uint64(idx))
+		switch {
+		case idx < stockCliqueAOrigin: // good tier (6..19)
+			p.Name = fmt.Sprintf("StockPortal%02d", filler+1)
+			p.TargetAccuracy = r.Uniform(0.87, 0.97)
+		case contains(lowTier, idx):
+			p.Name = fmt.Sprintf("PennyTicker%02d", filler+1)
+			p.TargetAccuracy = r.Uniform(0.56, 0.70)
+		default: // mid tier
+			p.Name = fmt.Sprintf("MarketBoard%02d", filler+1)
+			p.TargetAccuracy = r.Uniform(0.72, 0.95)
+		}
+		filler++
+	}
+
+	// Day-level quality swings for a handful of sources (Figure 8b): one
+	// extreme flip-flopper and three moderately unstable sources.
+	unstable := []int{stockFirstFree + 1, 33, 35, n - 2}
+	for rank, idx := range unstable {
+		p := &g.profiles[idx]
+		if rank == 0 {
+			p.BadDayRate, p.BadDayFactor = 0.5, 12
+		} else {
+			p.BadDayRate, p.BadDayFactor = 0.3, 4
+		}
+	}
+
+	// Instance-confused sources map terminated symbols onto other entities.
+	for _, idx := range []int{11, 27, 34, 38, 41, 46, 49, n - 1} {
+		if idx < n {
+			g.profiles[idx].InstanceConfused = true
+		}
+	}
+
+	// Derive the per-source knobs.
+	for idx := range g.profiles {
+		g.deriveStockKnobs(idx)
+	}
+
+	// Register sources with the dataset, building schemas (considered +
+	// tail attributes) and local-name statistics.
+	localNames := make(map[[2]int]struct{})
+	schemas := make([][]model.AttrID, len(g.profiles))
+	for idx := range g.profiles {
+		p := &g.profiles[idx]
+		r := newRNG(g.cfg.Seed, 0x06, uint64(idx))
+		breadth := r.Uniform(0.70, 1.30)
+		if p.Authority {
+			breadth = r.Uniform(1.10, 1.30)
+		}
+		var schema []model.AttrID
+		if p.CopyOf != model.NoSource {
+			// Copiers mirror the origin's schema exactly (Table 5 schema
+			// similarity 1 for the Stock cliques).
+			origin := &g.profiles[p.CopyOf]
+			p.Attrs = append([]model.AttrID(nil), origin.Attrs...)
+			schema = append([]model.AttrID(nil), schemas[p.CopyOf]...)
+		} else {
+			if p.Attrs == nil {
+				for a := 0; a < numStockAttrs; a++ {
+					prob := stockAttrPopularity[a] * breadth
+					if a == saLast || p.Authority {
+						prob = math.Max(prob, 0.95)
+					}
+					if r.Bool(math.Min(0.98, prob)) {
+						p.Attrs = append(p.Attrs, model.AttrID(a))
+					}
+				}
+				if len(p.Attrs) < 3 {
+					p.Attrs = []model.AttrID{saLast, saVolume, saPrevClose}
+				}
+			}
+			schema = append([]model.AttrID(nil), p.Attrs...)
+			for t := 0; t < stockTailAttrs; t++ {
+				pop := 0.9 / math.Pow(float64(t+1), 0.8)
+				if r.Bool(math.Min(0.95, pop*breadth)) {
+					schema = append(schema, model.AttrID(numStockAttrs+t))
+				}
+			}
+		}
+		schemas[idx] = schema
+		// Each provided attribute uses one of a few source-local names;
+		// the count of distinct (attr, name-variant) pairs is Table 1's
+		// local-attribute count.
+		for _, a := range schema {
+			nameVariants := 1 + int(a)%3
+			localNames[[2]int{int(a), r.Intn(nameVariants)}] = struct{}{}
+		}
+		g.ds.AddSource(model.Source{
+			Name:       p.Name,
+			Authority:  p.Authority,
+			Schema:     schema,
+			LocalAttrs: len(schema),
+		})
+	}
+	g.localAttrs = len(localNames)
+
+	for idx := range g.profiles {
+		g.fused = append(g.fused, model.SourceID(idx))
+	}
+	g.auths = []model.SourceID{stockAuthGoogle, stockAuthYahoo, stockAuthNasdaq,
+		stockAuthMSN, stockAuthBloomberg}
+}
+
+// deriveStockKnobs turns a target accuracy into concrete error-model knobs.
+// The error mass is deliberately concentrated: semantic variants and stale
+// statistical values absorb most of the budget, while real-time prices stay
+// clean (in the paper "Previous close" averages only 1.14 distinct values
+// even though mean source accuracy is .86).
+func (g *StockGenerator) deriveStockKnobs(idx int) {
+	p := &g.profiles[idx]
+	r := newRNG(g.cfg.Seed, 0x07, uint64(idx))
+	budget := 1 - p.TargetAccuracy
+
+	p.Variant = make(map[model.AttrID]int)
+	if idx == stockAuthBloomberg {
+		// The paper observes Bloomberg applying different semantics on
+		// statistical attributes (EPS, P/E, Yield), costing it accuracy.
+		p.Variant[saEPS] = 1
+		p.Variant[saPE] = 1
+		p.Variant[saYield] = 1
+	} else if !p.Authority && !p.Frozen {
+		// Semantics adoption is largely independent of source quality, but
+		// the most careful sites tend to align with the authority
+		// conventions, so high-target sources halve their minority odds.
+		for a := 0; a < numStockAttrs; a++ {
+			if stockVariantCount(a) > 1 {
+				weights := stockSemanticsAdoption(a)
+				// Dividend is exempt: showing the declared quarterly figure
+				// is the web-wide convention regardless of site quality.
+				if p.TargetAccuracy >= 0.88 && a != saDividend {
+					adj := make([]float64, len(weights))
+					adj[0] = weights[0] + 0.5*(1-weights[0])
+					for i := 1; i < len(weights); i++ {
+						adj[i] = weights[i] * 0.5
+					}
+					weights = adj
+				}
+				if v := r.Pick(weights); v > 0 {
+					p.Variant[model.AttrID(a)] = v
+				}
+			}
+		}
+	}
+	// Estimate the accuracy loss the variants cause (share of the source's
+	// items belonging to variant attributes, times the chance a variant
+	// value falls outside tolerance). Semantics can eat a source's whole
+	// budget; the residual stale/error knobs then stay near their floor.
+	variantLoss := float64(len(p.Variant)) / 11.0 * 0.85
+	rem := budget - variantLoss
+	if rem < 0.003 {
+		rem = 0.003
+	}
+	// Split the remaining budget between the price (real-time) and
+	// statistical attribute families. Prices get a small share that shrinks
+	// further for good sources.
+	var priceShare float64
+	switch {
+	case p.TargetAccuracy >= 0.85:
+		priceShare = 0.05
+	case p.TargetAccuracy >= 0.70:
+		priceShare = 0.07
+	default:
+		priceShare = 0.10
+	}
+	// Per-claim rates: loss = rate * itemShare * P(beyond tolerance).
+	// Price items are ~7/16 of a source's items, statistical ~9/16;
+	// roughly 80% of deviations land outside tolerance.
+	priceNoise := rem * priceShare / (7.0 / 16.0 * 0.8)
+	statNoise := rem * (1 - priceShare) / (9.0 / 16.0 * 0.8)
+	p.PriceStaleRate = clamp01(priceNoise * r.Uniform(0.5, 0.7))
+	p.PriceErrRate = clamp01(priceNoise * r.Uniform(0.3, 0.5))
+	p.StaleRate = clamp01(statNoise * r.Uniform(0.5, 0.7))
+	p.ErrRate = clamp01(statNoise * r.Uniform(0.3, 0.5))
+	p.UnitErrRate = 0.0002
+	// Volume reporting: ~60% of sources relay the consolidated feed
+	// exactly (JitterRate 0); the rest capture at their own moment and
+	// deviate by a per-source relative sigma. Because Eq. 3 tolerances are
+	// absolute, high-volume stocks then fragment into many buckets, which
+	// is what drives Volume to the paper's highest inconsistency (7.42
+	// values on average, items with dominance near .1).
+	if p.Authority {
+		if r.Bool(0.5) {
+			p.JitterRate = 0
+		} else {
+			p.JitterRate = 0.002
+		}
+	} else if r.Bool(0.6) {
+		p.JitterRate = 0
+	} else {
+		p.JitterRate = r.Uniform(0.004, 0.02)
+	}
+
+	// Formatting habits; authorities render everything at fine granularity.
+	p.Gran = make(map[model.AttrID]float64)
+	for a := 0; a < numStockAttrs; a++ {
+		if p.Authority {
+			p.Gran[model.AttrID(a)] = fineStockGranularity(a)
+		} else {
+			p.Gran[model.AttrID(a)] = stockGranularity(a, &r)
+		}
+	}
+	if p.CopyOf != model.NoSource {
+		// Copiers render the copied values exactly as the origin does.
+		origin := &g.profiles[p.CopyOf]
+		if origin.Gran != nil {
+			for k, v := range origin.Gran {
+				p.Gran[k] = v
+			}
+		}
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.85 {
+		return 0.85
+	}
+	return x
+}
+
+// fineStockGranularity is the finest customary representation per attribute.
+func fineStockGranularity(attr int) float64 {
+	switch attr {
+	case saVolume:
+		return 1
+	case saMarketCap:
+		return 1e5
+	case saShares:
+		return 1e5
+	default:
+		return 0.01
+	}
+}
+
+// stockGranularity draws a formatting granularity for one attribute,
+// reproducing the representation heterogeneity of Section 2 ("6.7M" vs
+// "6,700,000").
+func stockGranularity(attr int, r *rng) float64 {
+	switch attr {
+	case saVolume:
+		switch r.Pick([]float64{0.60, 0.16, 0.24}) {
+		case 0:
+			return 1 // exact share count
+		case 1:
+			return 1e3
+		default:
+			return 1e5 // "6.7M"
+		}
+	case saMarketCap:
+		switch r.Pick([]float64{0.35, 0.25, 0.40}) {
+		case 0:
+			return 1e5
+		case 1:
+			return 1e6
+		default:
+			return 1e8 // "6.7B"
+		}
+	case saShares:
+		if r.Bool(0.5) {
+			return 1e5
+		}
+		return 1e6
+	case saYield:
+		if r.Bool(0.65) {
+			return 0.01
+		}
+		return 0.1
+	case saPE:
+		if r.Bool(0.6) {
+			return 0.01
+		}
+		return 0.1
+	default:
+		return 0.01 // prices, changes and per-share figures in cents
+	}
+}
+
+// buildCoverage assigns per-source object coverage. Stock sources carry
+// nearly the whole symbol universe (the paper finds 83% of stocks provided
+// by every source and all sources above 90% coverage): most sources miss
+// only a handful of symbols, with terminated symbols missed preferentially.
+func (g *StockGenerator) buildCoverage() {
+	g.covered = make([][]bool, len(g.profiles))
+	for idx := range g.profiles {
+		p := &g.profiles[idx]
+		r := newRNG(g.cfg.Seed, 0x08, uint64(idx))
+		cov := make([]bool, g.cfg.Stocks)
+		if p.CopyOf != model.NoSource {
+			origin := g.covered[p.CopyOf]
+			for o := range cov {
+				cov[o] = origin[o] && !r.Bool(0.002)
+			}
+		} else {
+			for o := range cov {
+				cov[o] = true
+			}
+			misses := 0
+			if !r.Bool(0.16) { // 16% of sources carry every symbol
+				misses = 2 + r.Geometric(0.25, 40)
+			}
+			for i := 0; i < misses; i++ {
+				if r.Bool(0.3) {
+					cov[g.cfg.Stocks-1-r.Intn(numTerminated)] = false
+				} else {
+					cov[r.Intn(g.cfg.Stocks)] = false
+				}
+			}
+		}
+		n := 0
+		for _, c := range cov {
+			if c {
+				n++
+			}
+		}
+		p.ObjCoverage = float64(n) / float64(g.cfg.Stocks)
+		g.covered[idx] = cov
+	}
+}
+
+func (g *StockGenerator) computeLabelTolerances() {
+	// Truth-based Eq. 3 tolerances, used only for generator-side cause
+	// labels; analysis code recomputes tolerances from the claims.
+	for a := 0; a < numStockAttrs; a++ {
+		vals := make([]float64, 0, g.cfg.Stocks)
+		for s := 0; s < g.cfg.Stocks; s++ {
+			vals = append(vals, g.world.truth(s, a, 0))
+		}
+		g.labelTol[a] = value.Tolerance(value.Number, vals, value.DefaultAlpha)
+	}
+}
+
+func (g *StockGenerator) pickGoldObjects() {
+	for s := 0; s < 100 && s < g.cfg.Stocks; s++ {
+		g.goldObjs = append(g.goldObjs, model.ObjectID(s))
+	}
+	if g.cfg.GoldSymbols <= len(g.goldObjs) {
+		g.goldObjs = g.goldObjs[:g.cfg.GoldSymbols]
+		return
+	}
+	r := newRNG(g.cfg.Seed, 0x09)
+	living := g.cfg.Stocks - numTerminated
+	perm := r.Perm(living - 100)
+	for _, p := range perm {
+		if len(g.goldObjs) >= g.cfg.GoldSymbols {
+			break
+		}
+		g.goldObjs = append(g.goldObjs, model.ObjectID(100+p))
+	}
+}
+
+// Truth returns the world ground truth for every item on the given day.
+func (g *StockGenerator) Truth(day int) *model.TruthTable {
+	t := model.NewTruthTable()
+	for s := 0; s < g.cfg.Stocks; s++ {
+		for a := 0; a < numStockAttrs; a++ {
+			item, _ := g.ds.LookupItem(model.ObjectID(s), model.AttrID(a))
+			t.Set(item, value.Num(g.world.truth(s, a, day)))
+		}
+	}
+	return t
+}
+
+// cachedClaim lets copiers replay an origin's claims for the current day.
+type cachedClaim struct {
+	has   bool
+	val   value.Value
+	cause model.Cause
+}
+
+// Snapshot generates all claims of one collection day. The result is
+// deterministic in (Config.Seed, day) and independent of any other day's
+// generation.
+func (g *StockGenerator) Snapshot(day int) *model.Snapshot {
+	claims := make([]model.Claim, 0, len(g.profiles)*g.cfg.Stocks*11)
+	cache := make(map[model.SourceID][]cachedClaim)
+	for _, grp := range g.groups {
+		cache[grp.Origin] = make([]cachedClaim, len(g.ds.Items))
+	}
+
+	for idx := range g.profiles {
+		p := &g.profiles[idx]
+		src := model.SourceID(idx)
+		mood := 1.0
+		if p.BadDayRate > 0 {
+			rm := newRNG(g.cfg.Seed, 0x0a, uint64(idx), uint64(day))
+			if rm.Bool(p.BadDayRate) {
+				mood = p.BadDayFactor
+			}
+		}
+		originCache := cache[p.CopyOf]
+		myCache := cache[src]
+		for obj := 0; obj < g.cfg.Stocks; obj++ {
+			if !g.covered[idx][obj] {
+				continue
+			}
+			r := newRNG(g.cfg.Seed, 0x0b, uint64(idx), uint64(obj), uint64(day))
+			// Staleness is a page-level event: a source that has not
+			// refreshed shows the whole quote page from an earlier day.
+			pageDay := day
+			if p.Frozen {
+				pageDay = p.FrozenDay
+			} else if r.Bool(math.Min(0.9, p.PriceStaleRate*mood)) {
+				pageDay = day - r.Geometric(0.6, 5)
+			}
+			for _, attr := range p.Attrs {
+				item, _ := g.ds.LookupItem(model.ObjectID(obj), attr)
+				copied := model.NoSource
+				var val value.Value
+				var cause model.Cause
+				if originCache != nil && r.Bool(p.CopyRate) && originCache[item].has {
+					cc := originCache[item]
+					val, cause = cc.val, cc.cause
+					copied = p.CopyOf
+				} else {
+					val, cause = g.claimValue(p, obj, int(attr), day, pageDay, mood, &r)
+				}
+				claims = append(claims, model.Claim{
+					Source: src, Item: item, Val: val,
+					Cause: cause, CopiedFrom: copied,
+				})
+				if myCache != nil {
+					myCache[item] = cachedClaim{has: true, val: val, cause: cause}
+				}
+			}
+		}
+	}
+	return model.NewSnapshot(day, fmt.Sprintf("2011-07-%02d", day+1), len(g.ds.Items), claims)
+}
+
+// claimValue produces one independent claim for (source profile, object,
+// attribute, day) and labels its deviation cause. pageDay is the day whose
+// page the source is actually showing (page-level staleness).
+func (g *StockGenerator) claimValue(p *SourceProfile, obj, attr, day, pageDay int, mood float64, r *rng) (value.Value, model.Cause) {
+	effDay := pageDay
+	// Statistical fields also go stale on their own: many sources refresh
+	// prices but recompute EPS, dividends or market cap rarely.
+	if effDay == day && !isRealTimeStockAttr(attr) &&
+		r.Bool(math.Min(0.9, p.StaleRate*mood)) {
+		effDay = day - r.Geometric(0.5, 8)
+	}
+	stale := effDay != day
+
+	stock := obj
+	instance := false
+	if p.InstanceConfused && g.world.terminated[obj] {
+		stock = g.world.confusedTo[obj]
+		instance = true
+	}
+
+	variant := p.Variant[model.AttrID(attr)]
+	raw := g.world.variant(stock, attr, effDay, variant)
+
+	// Stale change figures mostly manifest as timing noise: the page was
+	// computed minutes before the close, so the change is near — not equal
+	// to — the closing change. (A page that is days old keeps the genuinely
+	// old change value.)
+	if stale && !p.Frozen && (attr == saChangePct || attr == saChangeAbs) && r.Bool(0.8) {
+		raw = g.world.variant(stock, attr, day, variant) * (1 + r.Norm()*0.08)
+	}
+
+	errRate := p.ErrRate
+	if isRealTimeStockAttr(attr) {
+		errRate = p.PriceErrRate
+	}
+	pure := false
+	if r.Bool(math.Min(0.9, errRate*mood)) {
+		pure = true
+		sign := 1.0
+		if r.Bool(0.5) {
+			sign = -1
+		}
+		raw *= 1 + sign*r.Uniform(0.03, 0.40)
+	}
+
+	unit := false
+	if (attr == saVolume || attr == saMarketCap) && r.Bool(p.UnitErrRate) {
+		unit = true
+		if r.Bool(0.5) {
+			raw *= 1000
+		} else {
+			raw /= 1000
+		}
+	}
+
+	jittered := false
+	if attr == saVolume && p.JitterRate > 0 {
+		jittered = true // idiosyncratic capture moment
+		raw *= 1 + r.Norm()*p.JitterRate
+	}
+
+	gran := p.Gran[model.AttrID(attr)]
+	val := value.NumGran(value.RoundTo(raw, gran), gran)
+
+	truth := g.world.truth(obj, attr, day)
+	if math.Abs(val.Num-truth) <= g.labelTol[attr] {
+		return val, model.CauseNone
+	}
+	switch {
+	case instance:
+		return val, model.CauseInstance
+	case unit:
+		return val, model.CauseUnit
+	case pure:
+		return val, model.CauseError
+	case variant != 0:
+		return val, model.CauseSemantic
+	case stale || jittered:
+		return val, model.CauseStale
+	case math.Abs(raw-truth) <= g.labelTol[attr]:
+		// Only the rounding to the source's granularity pushed the value out.
+		return val, model.CauseFormat
+	default:
+		return val, model.CauseError
+	}
+}
+
+func sourceRange(start, n int) []model.SourceID {
+	out := make([]model.SourceID, n)
+	for i := range out {
+		out[i] = model.SourceID(start + i)
+	}
+	return out
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate runs the full Stock simulation: dataset, all snapshots, world
+// truths, and metadata.
+func GenerateStock(cfg StockConfig) *Generated {
+	g := NewStock(cfg)
+	out := &Generated{
+		Dataset:     g.ds,
+		CopyGroups:  g.groups,
+		Authorities: g.auths,
+		Fused:       g.fused,
+		GoldObjects: g.goldObjs,
+		Profiles:    g.profiles,
+	}
+	for d := 0; d < cfg.Days; d++ {
+		out.Dataset.AddSnapshot(g.Snapshot(d))
+		out.Truths = append(out.Truths, g.Truth(d))
+	}
+	out.Dataset.ComputeTolerances(value.DefaultAlpha, out.Dataset.Snapshots[0])
+	return out
+}

@@ -1,0 +1,374 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stock attribute indices (Table 2 of the paper). The order is the item
+// layout order; model.AttrID values of the considered attributes coincide
+// with these constants because they are added to the dataset first.
+const (
+	saLast = iota
+	saOpen
+	saChangePct
+	saChangeAbs
+	saMarketCap
+	saVolume
+	saHigh
+	saLow
+	saDividend
+	saYield
+	saHigh52
+	saLow52
+	saEPS
+	saPE
+	saShares
+	saPrevClose
+	numStockAttrs
+)
+
+// stockAttrNames follows the paper's Table 2 naming.
+var stockAttrNames = [numStockAttrs]string{
+	"Last price", "Open price", "Today's change (%)", "Today's change ($)",
+	"Market cap", "Volume", "Today's high price", "Today's low price",
+	"Dividend", "Yield", "52-week high price", "52-week low price",
+	"EPS", "P/E", "Shares outstanding", "Previous close",
+}
+
+// stockRealTime marks the real-time attributes (values fixed at market
+// close) versus statistical attributes, which the paper observes carry more
+// semantic ambiguity.
+var stockRealTime = [numStockAttrs]bool{
+	saLast: true, saOpen: true, saChangePct: true, saChangeAbs: true,
+	saVolume: true, saHigh: true, saLow: true, saPrevClose: true,
+}
+
+// warmupDays is how far before the collection window the world series
+// starts, so frozen and stale sources can read genuinely old data
+// (StockSmart stopped refreshing about a month before the window).
+const warmupDays = 35
+
+// stockWorld holds the ground-truth series for every stock and day.
+// Day indices passed to its methods are collection days (0-based); the
+// series internally extends warmupDays earlier.
+type stockWorld struct {
+	cfg    StockConfig
+	nDays  int // warmup + collection days
+	stocks int
+
+	// Per-stock constants.
+	shares     []float64
+	eps        []float64 // trailing EPS (dominant semantics)
+	div        []float64 // annual dividend (dominant semantics)
+	fwdFactor  []float64 // forward/trailing EPS ratio (variant semantics)
+	diluted    []float64 // diluted/basic share ratio (variant semantics)
+	split      []float64 // split factor for unadjusted 52wk variants
+	terminated []bool    // terminated symbols (instance ambiguity targets)
+	confusedTo []int     // stock that confused sources substitute
+
+	// Per stock x day series, indexed stock*nDays+dayIdx.
+	last, open, high, low, prevClose []float64
+	volume                           []float64
+	high52, low52                    []float64
+}
+
+// numTerminated is the number of terminated symbols (paper: 10 symbols such
+// as "SY" whose values some sources map onto other entities).
+const numTerminated = 10
+
+func newStockWorld(cfg StockConfig) *stockWorld {
+	w := &stockWorld{
+		cfg:    cfg,
+		nDays:  warmupDays + cfg.Days,
+		stocks: cfg.Stocks,
+	}
+	n := cfg.Stocks
+	w.shares = make([]float64, n)
+	w.eps = make([]float64, n)
+	w.div = make([]float64, n)
+	w.fwdFactor = make([]float64, n)
+	w.diluted = make([]float64, n)
+	w.split = make([]float64, n)
+	w.terminated = make([]bool, n)
+	w.confusedTo = make([]int, n)
+	size := n * w.nDays
+	w.last = make([]float64, size)
+	w.open = make([]float64, size)
+	w.high = make([]float64, size)
+	w.low = make([]float64, size)
+	w.prevClose = make([]float64, size)
+	w.volume = make([]float64, size)
+	w.high52 = make([]float64, size)
+	w.low52 = make([]float64, size)
+
+	for s := 0; s < n; s++ {
+		r := newRNG(cfg.Seed, 0x57, uint64(s))
+		price0 := r.LogNormal(3.2, 1.0)
+		w.shares[s] = math.Round(r.LogNormal(18.2, 1.3))
+		pe0 := r.LogNormal(2.9, 0.4)
+		w.eps[s] = price0 / pe0
+		if r.Bool(0.4) {
+			w.div[s] = 0
+		} else {
+			w.div[s] = r.Uniform(0.005, 0.06) * price0
+		}
+		w.fwdFactor[s] = r.Uniform(0.75, 1.25)
+		w.diluted[s] = r.Uniform(1.01, 1.12)
+		w.split[s] = 1
+		if r.Bool(0.10) {
+			if r.Bool(0.5) {
+				w.split[s] = 2
+			} else {
+				w.split[s] = 4
+			}
+		}
+		w.terminated[s] = s >= n-numTerminated
+		w.confusedTo[s] = r.Intn(n - numTerminated)
+
+		vol0 := r.LogNormal(13.8, 1.6)
+		h52 := price0 * math.Exp(r.Uniform(0.05, 0.5))
+		l52 := price0 * math.Exp(-r.Uniform(0.05, 0.5))
+		prev := price0
+		for d := 0; d < w.nDays; d++ {
+			i := s*w.nDays + d
+			var lastP, openP float64
+			if w.terminated[s] && d > warmupDays/2 {
+				// Terminated symbols stop trading mid-warmup: series freezes.
+				i0 := s*w.nDays + d - 1
+				w.last[i] = w.last[i0]
+				w.open[i] = w.open[i0]
+				w.high[i] = w.high[i0]
+				w.low[i] = w.low[i0]
+				w.prevClose[i] = w.prevClose[i0]
+				w.volume[i] = 0
+				w.high52[i] = w.high52[i0]
+				w.low52[i] = w.low52[i0]
+				continue
+			}
+			openP = prev * math.Exp(r.Norm()*0.008)
+			lastP = prev * math.Exp(r.Norm()*0.02)
+			hi := math.Max(openP, lastP) * math.Exp(math.Abs(r.Norm())*0.008)
+			lo := math.Min(openP, lastP) * math.Exp(-math.Abs(r.Norm())*0.008)
+			vol := vol0 * r.LogNormal(0, 0.5)
+			if hi > h52 {
+				h52 = hi
+			}
+			if lo < l52 {
+				l52 = lo
+			}
+			w.last[i] = lastP
+			w.open[i] = openP
+			w.high[i] = hi
+			w.low[i] = lo
+			w.prevClose[i] = prev
+			w.volume[i] = math.Round(vol)
+			w.high52[i] = h52
+			w.low52[i] = l52
+			prev = lastP
+		}
+	}
+	return w
+}
+
+// idx converts a collection day (may be negative down to -warmupDays) into a
+// series index for the given stock.
+func (w *stockWorld) idx(stock, day int) int {
+	d := day + warmupDays
+	if d < 0 {
+		d = 0
+	}
+	if d >= w.nDays {
+		d = w.nDays - 1
+	}
+	return stock*w.nDays + d
+}
+
+// truth returns the dominant-semantics true value of (stock, attr) on the
+// given collection day.
+func (w *stockWorld) truth(stock, attr, day int) float64 {
+	return w.variant(stock, attr, day, 0)
+}
+
+// variant returns the value of (stock, attr, day) under the given semantic
+// variant. Variant 0 is the dominant (true) semantics; higher variants are
+// the alternative interpretations the paper attributes to semantics
+// ambiguity (quarterly dividends, forward EPS, diluted shares, unadjusted
+// 52-week ranges, alternative yield bases).
+func (w *stockWorld) variant(stock, attr, day, variant int) float64 {
+	i := w.idx(stock, day)
+	switch attr {
+	case saLast:
+		return w.last[i]
+	case saOpen:
+		return w.open[i]
+	case saChangePct:
+		return 100 * (w.last[i] - w.prevClose[i]) / w.prevClose[i]
+	case saChangeAbs:
+		return w.last[i] - w.prevClose[i]
+	case saMarketCap:
+		switch variant {
+		case 1: // diluted share count
+			return w.last[i] * w.shares[stock] * w.diluted[stock]
+		case 2: // computed from the open price
+			return w.open[i] * w.shares[stock]
+		default:
+			return w.last[i] * w.shares[stock]
+		}
+	case saVolume:
+		return w.volume[i]
+	case saHigh:
+		return w.high[i]
+	case saLow:
+		return w.low[i]
+	case saDividend:
+		switch variant {
+		case 1: // quarterly
+			return w.div[stock] / 4
+		case 2: // semi-annual
+			return w.div[stock] / 2
+		case 3: // quarterly figure annualised again by mistake
+			return w.div[stock] * 4
+		default: // annual
+			return w.div[stock]
+		}
+	case saYield:
+		div := w.div[stock]
+		switch variant {
+		case 1: // previous close basis
+			return 100 * div / w.prevClose[i]
+		case 2: // open price basis
+			return 100 * div / w.open[i]
+		default: // last price basis
+			return 100 * div / w.last[i]
+		}
+	case saHigh52:
+		switch variant {
+		case 1: // excluding the current day
+			return w.high52[w.idx(stock, day-1)]
+		case 2: // split-unadjusted
+			return w.high52[i] * w.split[stock]
+		default:
+			return w.high52[i]
+		}
+	case saLow52:
+		switch variant {
+		case 1: // excluding the current day
+			return w.low52[w.idx(stock, day-1)]
+		case 2: // split-unadjusted (pre-split prices are higher)
+			return w.low52[i] * w.split[stock]
+		default:
+			return w.low52[i]
+		}
+	case saEPS:
+		switch variant {
+		case 1: // forward EPS
+			return w.eps[stock] * w.fwdFactor[stock]
+		case 2: // last-quarter EPS reported un-annualised
+			return w.eps[stock] / 4
+		default: // trailing twelve months
+			return w.eps[stock]
+		}
+	case saPE:
+		switch variant {
+		case 1: // forward P/E
+			return w.last[i] / (w.eps[stock] * w.fwdFactor[stock])
+		case 2: // P/E on the un-annualised quarterly EPS
+			return 4 * w.last[i] / w.eps[stock]
+		default:
+			return w.last[i] / w.eps[stock]
+		}
+	case saShares:
+		switch variant {
+		case 1: // diluted
+			return w.shares[stock] * w.diluted[stock]
+		default:
+			return w.shares[stock]
+		}
+	case saPrevClose:
+		return w.prevClose[i]
+	default:
+		panic(fmt.Sprintf("datagen: unknown stock attribute %d", attr))
+	}
+}
+
+// stockVariantCount returns how many semantic variants an attribute has
+// (including the dominant variant 0).
+func stockVariantCount(attr int) int {
+	switch attr {
+	case saDividend:
+		return 4
+	case saMarketCap, saYield, saHigh52, saLow52, saEPS, saPE:
+		return 3
+	case saShares:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// stockSemanticsAdoption gives, per ambiguous attribute, the adoption
+// distribution over semantic variants (index 0 = the authority semantics)
+// among non-authority sources. Semantics is orthogonal to source quality:
+// a perfectly reliable site may simply report quarterly dividends. Crucially,
+// for Dividend the authority semantics is a *minority* on the wider web,
+// which is what pushes the paper's dominant-value precision down to ~.91
+// while leaving trust-aware fusion room to recover.
+func stockSemanticsAdoption(attr int) []float64 {
+	switch attr {
+	case saDividend:
+		// The declared (quarterly) dividend is what much of the web shows;
+		// the authorities' annualised rate holds only a slim plurality, so
+		// the dominant value flips to quarterly on a large share of
+		// dividend items — one of the paper's structural sources of VOTE
+		// error, and one per-attribute trust recovers from.
+		return []float64{0.30, 0.52, 0.11, 0.07}
+	case saLow52:
+		return []float64{0.48, 0.34, 0.18}
+	case saPE:
+		return []float64{0.44, 0.40, 0.16}
+	case saEPS:
+		return []float64{0.58, 0.30, 0.12}
+	case saMarketCap:
+		return []float64{0.58, 0.30, 0.12}
+	case saYield:
+		return []float64{0.54, 0.34, 0.12}
+	case saHigh52:
+		return []float64{0.74, 0.20, 0.06}
+	case saShares:
+		return []float64{0.68, 0.32}
+	default:
+		return []float64{1}
+	}
+}
+
+// isRealTimeStockAttr distinguishes the price-like real-time attributes
+// (whose error budget is tiny — the paper's prices are very clean) from the
+// statistical attributes that absorb most of a source's error budget.
+func isRealTimeStockAttr(attr int) bool {
+	switch attr {
+	case saLast, saOpen, saChangePct, saChangeAbs, saHigh, saLow, saPrevClose:
+		return true
+	default:
+		return false
+	}
+}
+
+// stockSymbol renders a deterministic ticker-like symbol for stock i.
+func stockSymbol(i int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	b := make([]byte, 0, 5)
+	n := i
+	for {
+		b = append(b, letters[n%26])
+		n = n/26 - 1
+		if n < 0 {
+			break
+		}
+	}
+	// Reverse.
+	for l, r := 0, len(b)-1; l < r; l, r = l+1, r-1 {
+		b[l], b[r] = b[r], b[l]
+	}
+	return string(b)
+}

@@ -1,0 +1,201 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Stock world invariants: derived attributes must be consistent with the
+// underlying series, and variants must transform values as documented.
+func TestStockWorldInvariants(t *testing.T) {
+	w := newStockWorld(smallStock(11))
+	for s := 0; s < 40; s++ {
+		for d := 0; d < 3; d++ {
+			last := w.truth(s, saLast, d)
+			open := w.truth(s, saOpen, d)
+			high := w.truth(s, saHigh, d)
+			low := w.truth(s, saLow, d)
+			prev := w.truth(s, saPrevClose, d)
+			if !(high >= last-1e-9 && high >= open-1e-9) {
+				t.Fatalf("stock %d day %d: high %v below last %v / open %v", s, d, high, last, open)
+			}
+			if !(low <= last+1e-9 && low <= open+1e-9) {
+				t.Fatalf("stock %d day %d: low %v above last/open", s, d, low)
+			}
+			if h52 := w.truth(s, saHigh52, d); h52 < high-1e-9 {
+				t.Fatalf("stock %d: 52wk high %v below today's high %v", s, h52, high)
+			}
+			if l52 := w.truth(s, saLow52, d); l52 > low+1e-9 {
+				t.Fatalf("stock %d: 52wk low %v above today's low %v", s, l52, low)
+			}
+			wantPct := 100 * (last - prev) / prev
+			if got := w.truth(s, saChangePct, d); math.Abs(got-wantPct) > 1e-9 {
+				t.Fatalf("change%% mismatch: %v vs %v", got, wantPct)
+			}
+			if d > 0 {
+				if prevLast := w.truth(s, saLast, d-1); math.Abs(prev-prevLast) > 1e-9 {
+					t.Fatalf("previous close %v != yesterday's last %v", prev, prevLast)
+				}
+			}
+		}
+	}
+}
+
+func TestStockVariantSemantics(t *testing.T) {
+	w := newStockWorld(smallStock(3))
+	s, d := 5, 1
+	div := w.variant(s, saDividend, d, 0)
+	if q := w.variant(s, saDividend, d, 1); div > 0 && math.Abs(q-div/4) > 1e-9 {
+		t.Errorf("quarterly dividend = %v, want %v", q, div/4)
+	}
+	if x4 := w.variant(s, saDividend, d, 3); div > 0 && math.Abs(x4-div*4) > 1e-9 {
+		t.Errorf("re-annualised dividend = %v, want %v", x4, div*4)
+	}
+	eps := w.variant(s, saEPS, d, 0)
+	if q := w.variant(s, saEPS, d, 2); math.Abs(q-eps/4) > 1e-9 {
+		t.Errorf("quarterly EPS = %v, want %v", q, eps/4)
+	}
+	pe := w.variant(s, saPE, d, 0)
+	if q := w.variant(s, saPE, d, 2); math.Abs(q-4*pe) > 1e-9 {
+		t.Errorf("quarterly-based P/E = %v, want %v", q, 4*pe)
+	}
+	// Variant 0 equals truth for every attribute.
+	for a := 0; a < numStockAttrs; a++ {
+		if w.variant(s, a, d, 0) != w.truth(s, a, d) {
+			t.Errorf("attr %d: variant 0 differs from truth", a)
+		}
+	}
+	// Variant counts are within declared bounds.
+	for a := 0; a < numStockAttrs; a++ {
+		n := stockVariantCount(a)
+		if n < 1 || n > 4 {
+			t.Errorf("attr %d variant count %d", a, n)
+		}
+		weights := stockSemanticsAdoption(a)
+		if n > 1 && len(weights) != n {
+			t.Errorf("attr %d: %d adoption weights for %d variants", a, len(weights), n)
+		}
+	}
+}
+
+func TestStockSymbols(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		s := stockSymbol(i)
+		if s == "" || seen[s] {
+			t.Fatalf("symbol %d = %q (duplicate or empty)", i, s)
+		}
+		seen[s] = true
+	}
+	if stockSymbol(0) != "A" || stockSymbol(25) != "Z" || stockSymbol(26) != "AA" {
+		t.Errorf("symbol sequence wrong: %s %s %s", stockSymbol(0), stockSymbol(25), stockSymbol(26))
+	}
+}
+
+// Flight world invariants.
+func TestFlightWorldInvariants(t *testing.T) {
+	cfg := smallFlight(13)
+	w := newFlightWorld(cfg)
+	for f := 0; f < cfg.Flights; f++ {
+		for d := 0; d < cfg.Days; d++ {
+			schedDep := w.truthTime(f, faSchedDep, d)
+			schedArr := w.truthTime(f, faSchedArr, d)
+			if schedArr <= schedDep {
+				t.Fatalf("flight %d: arrival %v before departure %v", f, schedArr, schedDep)
+			}
+			if schedArr-schedDep != w.duration[f] {
+				t.Fatalf("flight %d: duration mismatch", f)
+			}
+			// Takeoff (variant) is after gate departure; landing before
+			// gate arrival.
+			actDep := w.truthTime(f, faActDep, d)
+			if takeoff := w.variantTime(f, faActDep, d, 1); takeoff <= actDep {
+				t.Fatalf("flight %d: takeoff %v not after gate departure %v", f, takeoff, actDep)
+			}
+			actArr := w.truthTime(f, faActArr, d)
+			if landing := w.variantTime(f, faActArr, d, 1); landing >= actArr {
+				t.Fatalf("flight %d: landing %v not before gate arrival %v", f, landing, actArr)
+			}
+			if g := w.truthGate(f, faDepGate, d); g == "" {
+				t.Fatalf("flight %d: empty gate", f)
+			}
+		}
+		// Route endpoints must involve a hub of the operating airline.
+		hubFound := false
+		for _, h := range airlineHubs[w.airline[f]] {
+			if w.depAirport[f] == h || w.arrAirport[f] == h {
+				hubFound = true
+			}
+		}
+		if !hubFound {
+			t.Fatalf("flight %d: no hub endpoint", f)
+		}
+	}
+}
+
+func TestFlightScheduleShift(t *testing.T) {
+	cfg := smallFlight(17)
+	w := newFlightWorld(cfg)
+	shifted := 0
+	for f := 0; f < cfg.Flights; f++ {
+		if w.shiftDay[f] < 0 {
+			// Schedule constant across days.
+			if w.schedDep(f, 0) != w.schedDep(f, cfg.Days-1) {
+				t.Fatalf("flight %d: schedule moved without a shift", f)
+			}
+			continue
+		}
+		shifted++
+		if w.shiftDay[f] < cfg.Days &&
+			w.schedDep(f, w.shiftDay[f]) == w.schedDep0[f] && w.shift[f] != 0 {
+			t.Fatalf("flight %d: shift did not apply", f)
+		}
+	}
+	if shifted == 0 {
+		t.Error("no flights with schedule changes")
+	}
+}
+
+// Property: gate names always match the terminal-letter + number pattern.
+func TestGateNameShape(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newRNG(seed, 0xff)
+		g := gateName(&r)
+		if len(g) < 2 || g[0] < 'A' || g[0] > 'E' {
+			return false
+		}
+		for _, c := range g[1:] {
+			if c < '0' || c > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsFlightTimeAttr(t *testing.T) {
+	for a := 0; a < numFlightAttrs; a++ {
+		want := a < faDepGate
+		if isFlightTimeAttr(a) != want {
+			t.Errorf("attr %d time classification wrong", a)
+		}
+	}
+	if flightVariantCount(faActDep) != 2 || flightVariantCount(faSchedDep) != 1 {
+		t.Error("flight variant counts wrong")
+	}
+}
+
+func TestWarmupTruthAccessible(t *testing.T) {
+	// Frozen sources read days before the window; idx must clamp safely.
+	w := newStockWorld(smallStock(1))
+	if v := w.truth(0, saLast, -warmupDays-10); v <= 0 {
+		t.Errorf("pre-warmup truth = %v", v)
+	}
+	if v := w.truth(0, saLast, 999); v <= 0 {
+		t.Errorf("post-window truth = %v", v)
+	}
+}

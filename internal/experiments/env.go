@@ -1,0 +1,203 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: one runner per exhibit, all operating on the simulated Stock
+// and Flight collections. The per-experiment index lives in DESIGN.md; the
+// measured-vs-paper record lives in EXPERIMENTS.md.
+package experiments
+
+import (
+	"sort"
+
+	"truthdiscovery/internal/datagen"
+	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/gold"
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/quality"
+	"truthdiscovery/internal/value"
+)
+
+// Config scales the experiment environment. The zero value is not usable;
+// call DefaultConfig (paper scale) or QuickConfig (CI scale).
+type Config struct {
+	Stock  datagen.StockConfig
+	Flight datagen.FlightConfig
+	// StockDay / FlightDay are the snapshot days the single-snapshot
+	// experiments use (the paper reports 2011-07-07 and 2011-12-08).
+	StockDay  int
+	FlightDay int
+}
+
+// DefaultConfig is the paper-scale configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Stock:     datagen.DefaultStockConfig(seed),
+		Flight:    datagen.DefaultFlightConfig(seed),
+		StockDay:  6,
+		FlightDay: 7,
+	}
+}
+
+// QuickConfig is a reduced-scale configuration for tests and benchmarks:
+// fewer objects and days, the full source rosters (the roster structure is
+// what the experiments are about).
+func QuickConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Stock.Stocks = 220
+	cfg.Stock.GoldSymbols = 120
+	cfg.Stock.Days = 8
+	cfg.Flight.Flights = 400
+	cfg.Flight.Days = 9
+	cfg.StockDay = 4
+	cfg.FlightDay = 4
+	return cfg
+}
+
+// Domain bundles everything the experiments need about one collection's
+// study snapshot.
+type Domain struct {
+	Name    string
+	Gen     datagen.Generator
+	DS      *model.Dataset
+	Snap    *model.Snapshot
+	Gold    *model.TruthTable
+	Fused   []model.SourceID
+	Groups  []datagen.CopyGroup
+	Day     int
+	Days    int
+	problem *fusion.Problem
+	acc     []float64
+	attrAcc [][]float64
+}
+
+// Env lazily builds and caches the two domains.
+type Env struct {
+	Cfg    Config
+	stock  *Domain
+	flight *Domain
+}
+
+// NewEnv returns an environment for the given configuration.
+func NewEnv(cfg Config) *Env { return &Env{Cfg: cfg} }
+
+// Stock returns the Stock domain, building it on first use.
+func (e *Env) Stock() *Domain {
+	if e.stock == nil {
+		gen := datagen.NewStock(e.Cfg.Stock)
+		e.stock = newDomain("Stock", gen, e.Cfg.StockDay, e.Cfg.Stock.Days)
+	}
+	return e.stock
+}
+
+// Flight returns the Flight domain, building it on first use.
+func (e *Env) Flight() *Domain {
+	if e.flight == nil {
+		gen := datagen.NewFlight(e.Cfg.Flight)
+		e.flight = newDomain("Flight", gen, e.Cfg.FlightDay, e.Cfg.Flight.Days)
+	}
+	return e.flight
+}
+
+// Domains returns both domains in paper order.
+func (e *Env) Domains() []*Domain { return []*Domain{e.Stock(), e.Flight()} }
+
+func newDomain(name string, gen datagen.Generator, day, days int) *Domain {
+	ds := gen.Dataset()
+	snap := gen.Snapshot(day)
+	ds.ComputeTolerances(value.DefaultAlpha, snap)
+	return &Domain{
+		Name:   name,
+		Gen:    gen,
+		DS:     ds,
+		Snap:   snap,
+		Gold:   gold.ForGenerated(gen, snap),
+		Fused:  gen.FusedSources(),
+		Groups: gen.CopyGroups(),
+		Day:    day,
+		Days:   days,
+	}
+}
+
+// Problem returns the (cached) fusion problem with similarity and format
+// structures built.
+func (d *Domain) Problem() *fusion.Problem {
+	if d.problem == nil {
+		d.problem = fusion.Build(d.DS, d.Snap,
+			d.Fused, fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true})
+	}
+	return d.problem
+}
+
+// SampledAccuracy returns the (cached) per-problem-source gold accuracy.
+func (d *Domain) SampledAccuracy() []float64 {
+	if d.acc == nil {
+		d.acc = fusion.SampleAccuracy(d.DS, d.Snap, d.Problem(), d.Gold)
+	}
+	return d.acc
+}
+
+// SampledAttrAccuracy returns the (cached) per-(source, attribute) gold
+// accuracy.
+func (d *Domain) SampledAttrAccuracy() [][]float64 {
+	if d.attrAcc == nil {
+		d.attrAcc = fusion.SampleAttrAccuracy(d.DS, d.Snap, d.Problem(), d.Gold)
+	}
+	return d.attrAcc
+}
+
+// GoldFor builds the domain's gold standard for an arbitrary snapshot
+// (multi-day experiments).
+func (d *Domain) GoldFor(snap *model.Snapshot) *model.TruthTable {
+	return gold.ForGenerated(d.Gen, snap)
+}
+
+// QualityGroups adapts the generator's copy groups for the quality package.
+func (d *Domain) QualityGroups() []quality.Group {
+	out := make([]quality.Group, 0, len(d.Groups))
+	for _, g := range d.Groups {
+		out = append(out, quality.Group{Remark: g.Remark, Members: g.Members})
+	}
+	return out
+}
+
+// GroupMembers returns the copy groups as plain member lists (fusion's
+// KnownGroups input).
+func (d *Domain) GroupMembers() [][]model.SourceID {
+	out := make([][]model.SourceID, 0, len(d.Groups))
+	for _, g := range d.Groups {
+		out = append(out, g.Members)
+	}
+	return out
+}
+
+// FusionOptions returns the domain-appropriate options for one method:
+// ACCUCOPY uses the plain 2009 detector on Stock (reproducing the paper's
+// false-positive failure on numeric data) and the robust detector on Flight
+// (standing in for the paper's working detector there; see EXPERIMENTS.md).
+func (d *Domain) FusionOptions(method string, withTrust bool) fusion.Options {
+	opts := fusion.Options{}
+	if method == "AccuCopy" {
+		if d.Name == "Stock" {
+			opts.CopyDetectPaper2009 = true
+		}
+		if withTrust {
+			opts.KnownGroups = d.GroupMembers()
+		}
+	}
+	if withTrust {
+		m, _ := fusion.ByName(method)
+		opts.InputTrust = m.TrustScale(d.SampledAccuracy())
+		opts.InputAttrTrust = d.SampledAttrAccuracy()
+	}
+	return opts
+}
+
+// SourcesByRecall returns the fused sources ordered by descending recall
+// (coverage times accuracy against the gold standard), the ordering of the
+// paper's Figure 9.
+func (d *Domain) SourcesByRecall() []model.SourceID {
+	acc, cov := d.Gold.SourceAccuracy(d.DS, d.Snap)
+	out := append([]model.SourceID(nil), d.Fused...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return acc[out[i]]*cov[out[i]] > acc[out[j]]*cov[out[j]]
+	})
+	return out
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"truthdiscovery/internal/fusion"
+)
+
+// tinyConfig is small enough for every experiment to run in seconds.
+func tinyConfig() Config {
+	cfg := QuickConfig(1)
+	cfg.Stock.Stocks = 80
+	cfg.Stock.GoldSymbols = 40
+	cfg.Stock.Days = 3
+	cfg.Flight.Flights = 150
+	cfg.Flight.GoldFlights = 40
+	cfg.Flight.Days = 3
+	cfg.StockDay = 1
+	cfg.FlightDay = 1
+	return cfg
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	wantIDs := []string{
+		"table1", "table2", "figure1", "figure2", "figure3", "table3",
+		"figure4", "figure5", "figure6", "figure7", "table4", "figure8",
+		"table5", "table6", "table7", "figure9", "figure10", "table8",
+		"figure11", "figure12", "table9", "accucopy-ablation", "tolerance-sweep",
+		"ensemble", "seed-trust", "category-trust", "source-selection",
+	}
+	if len(all) != len(wantIDs) {
+		t.Fatalf("experiment count = %d, want %d", len(all), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if _, err := ByID(id); err != nil {
+			t.Errorf("ByID(%s): %v", id, err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID of unknown experiment should fail")
+	}
+}
+
+// TestAllExperimentsRun executes every experiment at tiny scale and checks
+// the reports are well-formed.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	env := NewEnv(tinyConfig())
+	for _, x := range All() {
+		rep := x.Run(env)
+		if rep.ID != x.ID {
+			t.Errorf("%s: report ID %s", x.ID, rep.ID)
+		}
+		if len(rep.Tables) == 0 && len(rep.Notes) == 0 {
+			t.Errorf("%s: empty report", x.ID)
+		}
+		var sb strings.Builder
+		rep.Render(&sb)
+		if len(sb.String()) < 20 {
+			t.Errorf("%s: suspiciously short rendering", x.ID)
+		}
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	if env.Stock() != env.Stock() {
+		t.Error("stock domain not cached")
+	}
+	if env.Flight() != env.Flight() {
+		t.Error("flight domain not cached")
+	}
+	d := env.Stock()
+	if d.Problem() != d.Problem() {
+		t.Error("problem not cached")
+	}
+	if len(d.SampledAccuracy()) != len(d.Problem().SourceIDs) {
+		t.Error("sampled accuracy size mismatch")
+	}
+	if len(d.SampledAttrAccuracy()) != len(d.Problem().SourceIDs) {
+		t.Error("sampled attr accuracy size mismatch")
+	}
+}
+
+func TestFusionOptionsPolicy(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	s := env.Stock()
+	f := env.Flight()
+	if !s.FusionOptions("AccuCopy", false).CopyDetectPaper2009 {
+		t.Error("Stock AccuCopy should default to the 2009 detector")
+	}
+	if f.FusionOptions("AccuCopy", false).CopyDetectPaper2009 {
+		t.Error("Flight AccuCopy should use the robust detector")
+	}
+	if s.FusionOptions("AccuCopy", true).KnownGroups == nil {
+		t.Error("with-trust AccuCopy should get known groups")
+	}
+	if s.FusionOptions("AccuPr", true).InputTrust == nil {
+		t.Error("with-trust options should carry sampled trust")
+	}
+	if s.FusionOptions("AccuPr", false).InputTrust != nil {
+		t.Error("without-trust options should not carry trust")
+	}
+}
+
+func TestSourcesByRecall(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	d := env.Flight()
+	ordered := d.SourcesByRecall()
+	if len(ordered) != len(d.Fused) {
+		t.Fatalf("ordering size = %d", len(ordered))
+	}
+	acc, cov := d.Gold.SourceAccuracy(d.DS, d.Snap)
+	for i := 1; i < len(ordered); i++ {
+		prev := acc[ordered[i-1]] * cov[ordered[i-1]]
+		cur := acc[ordered[i]] * cov[ordered[i]]
+		if cur > prev+1e-12 {
+			t.Fatalf("ordering violated at %d: %v > %v", i, cur, prev)
+		}
+	}
+}
+
+// The flagship sanity check: on the study snapshots the paper's headline
+// ordering must hold — the best advanced method beats VOTE in both domains.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline shape skipped in -short mode")
+	}
+	env := NewEnv(tinyConfig())
+	for _, d := range env.Domains() {
+		p := d.Problem()
+		vote, _ := fusion.ByName("Vote")
+		evVote := fusion.Evaluate(d.DS, p, vote.Run(p, fusion.Options{}), d.Gold)
+
+		bestName := map[string]string{"Stock": "AccuFormatAttr", "Flight": "AccuCopy"}[d.Name]
+		m, _ := fusion.ByName(bestName)
+		ev := fusion.Evaluate(d.DS, p, m.Run(p, d.FusionOptions(bestName, false)), d.Gold)
+		if ev.Precision <= evVote.Precision {
+			t.Errorf("%s: %s (%.3f) should beat VOTE (%.3f)",
+				d.Name, bestName, ev.Precision, evVote.Precision)
+		}
+	}
+}

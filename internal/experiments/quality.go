@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/quality"
+	"truthdiscovery/internal/report"
+	"truthdiscovery/internal/stats"
+	"truthdiscovery/internal/value"
+)
+
+// Table1 reproduces the data-collection overview.
+func Table1(e *Env) *report.Report {
+	r := &report.Report{ID: "table1", Title: "Overview of data collections"}
+	t := r.NewTable("", "Domain", "Srcs", "Objects", "Local attrs", "Global attrs", "Considered items", "Paper")
+	for _, d := range e.Domains() {
+		considered := 0
+		for _, a := range d.DS.Attrs {
+			if a.Considered {
+				considered++
+			}
+		}
+		paper := "55 srcs, 1000*21 objs, 333/153 attrs, 16000*21 items"
+		if d.Name == "Flight" {
+			paper = "38 srcs, 1200*31 objs, 43/15 attrs, 7200*31 items"
+		}
+		t.AddRow(d.Name, len(d.DS.Sources),
+			fmt.Sprintf("%d*%d", len(d.DS.Objects), d.Days),
+			d.Gen.LocalAttrCount(), len(d.DS.Attrs),
+			fmt.Sprintf("%d*%d", len(d.DS.Items), d.Days), paper)
+	}
+	return r
+}
+
+// Table2 lists the examined Stock attributes.
+func Table2(e *Env) *report.Report {
+	r := &report.Report{ID: "table2", Title: "Examined attributes for Stock"}
+	t := r.NewTable("", "Attribute", "Kind", "Real-time")
+	for _, a := range e.Stock().DS.ConsideredAttrs() {
+		t.AddRow(a.Name, a.Kind.String(), fmt.Sprintf("%v", a.RealTime))
+	}
+	r.Note("The paper examines these 16 of 21 popular attributes (5 excluded for after-hours trading).")
+	return r
+}
+
+// Figure1 reproduces attribute coverage (share of global attributes
+// provided by more than N sources).
+func Figure1(e *Env) *report.Report {
+	r := &report.Report{ID: "figure1", Title: "Attribute coverage (Zipf)"}
+	thresholds := []int{5, 10, 20, 30, 40, 50}
+	t := r.NewTable("", "More than N sources", "Stock", "Flight")
+	stock := quality.AttributeCoverageCurve(e.Stock().DS, thresholds)
+	flight := quality.AttributeCoverageCurve(e.Flight().DS, thresholds)
+	for i, th := range thresholds {
+		t.AddRow(fmt.Sprintf("%d", th), report.Pct(stock[i]), report.Pct(flight[i]))
+	}
+	r.Note("Paper: 21 Stock attributes (13.7%%) provided by >= 1/3 of sources; 86%% by < 25%%.")
+	return r
+}
+
+// Figure2 reproduces the object-redundancy curves.
+func Figure2(e *Env) *report.Report {
+	return redundancyFigure(e, "figure2", "Object redundancy", true)
+}
+
+// Figure3 reproduces the data-item-redundancy curves.
+func Figure3(e *Env) *report.Report {
+	return redundancyFigure(e, "figure3", "Data-item redundancy", false)
+}
+
+func redundancyFigure(e *Env, id, title string, objects bool) *report.Report {
+	r := &report.Report{ID: id, Title: title}
+	t := r.NewTable("", "Redundancy > x", "Stock", "Flight")
+	thresholds := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	curves := make([][]float64, 2)
+	for i, d := range e.Domains() {
+		red := quality.Redundancy(d.DS, d.Snap, d.Fused)
+		xs := red.ItemRedundancy
+		if objects {
+			xs = red.ObjectRedundancy
+		}
+		curves[i] = stats.FractionAtLeast(xs, thresholds)
+		if !objects {
+			r.Note("%s mean item redundancy %.3f (paper: %s)", d.Name,
+				red.MeanItemRedundancy, map[string]string{"Stock": ".66", "Flight": ".32"}[d.Name])
+		}
+	}
+	for i, th := range thresholds {
+		t.AddRow(report.F2(th), report.Pct(curves[0][i]), report.Pct(curves[1][i]))
+	}
+	return r
+}
+
+// stockSmartExclusion returns the consistency option set that drops the
+// frozen StockSmart source, which Table 3 reports in parentheses.
+func stockSmartExclusion(d *Domain) quality.ConsistencyOptions {
+	opts := quality.ConsistencyOptions{}
+	if s, ok := d.DS.SourceByName("StockSmart"); ok {
+		opts.ExcludeSources = map[model.SourceID]bool{s.ID: true}
+	}
+	return opts
+}
+
+// Table3 reproduces value inconsistency per attribute: number of values,
+// entropy and deviation, with and without StockSmart.
+func Table3(e *Env) *report.Report {
+	r := &report.Report{ID: "table3", Title: "Value inconsistency on attributes"}
+	for _, d := range e.Domains() {
+		all := quality.ByAttribute(d.DS, quality.Consistency(d.DS, d.Snap, quality.ConsistencyOptions{}))
+		var excl []quality.AttrConsistency
+		if d.Name == "Stock" {
+			excl = quality.ByAttribute(d.DS, quality.Consistency(d.DS, d.Snap, stockSmartExclusion(d)))
+		}
+		t := r.NewTable(d.Name+" (sorted by number of values)",
+			"Attribute", "NumValues", "Entropy", "Deviation", "NumValues w/o frozen src")
+		rows := append([]quality.AttrConsistency(nil), all...)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].MeanNumValues > rows[j].MeanNumValues })
+		for _, a := range rows {
+			exclCell := "-"
+			for _, x := range excl {
+				if x.Attr == a.Attr {
+					exclCell = report.F2(x.MeanNumValues)
+				}
+			}
+			t.AddRow(a.Name, report.F2(a.MeanNumValues), report.F2(a.MeanEntropy),
+				report.F2(a.MeanDeviation), exclCell)
+		}
+	}
+	r.Note("Paper highlights — Stock high: Volume 7.42, P/E 6.89, Market cap 6.39, EPS 5.43, Yield 4.85;")
+	r.Note("Stock low: Previous close 1.14, Today's high/low 1.98, Last 2.21, Open 2.29.")
+	r.Note("Flight: Actual departure 1.98 high, Scheduled departure 1.1 low; deviations ~15 min on actuals.")
+	return r
+}
+
+// Figure4 reproduces the distributions of number-of-values, entropy and
+// deviation over data items.
+func Figure4(e *Env) *report.Report {
+	r := &report.Report{ID: "figure4", Title: "Value inconsistency distributions"}
+	for _, d := range e.Domains() {
+		items := quality.Consistency(d.DS, d.Snap, quality.ConsistencyOptions{})
+		sum := quality.Summarize(items)
+		r.Note("%s: mean #values %.2f, single-value %.0f%%, mean entropy %.2f (paper Stock 3.7/17%%/.58, Flight 1.45/61%%/.24)",
+			d.Name, sum.MeanNumValues, 100*sum.SingleValueShare, sum.MeanEntropy)
+
+		nv := r.NewTable(d.Name+": number of different values", "Values", "Share of items")
+		counts := make(map[int]int)
+		for _, ic := range items {
+			n := ic.NumValues
+			if n > 9 {
+				n = 10
+			}
+			counts[n]++
+		}
+		for n := 1; n <= 10; n++ {
+			label := fmt.Sprintf("%d", n)
+			if n == 10 {
+				label = "more"
+			}
+			nv.AddRow(label, report.Pct(float64(counts[n])/float64(len(items))))
+		}
+
+		ent := r.NewTable(d.Name+": entropy", "Entropy bin", "Share of items")
+		bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+		var es []float64
+		for _, ic := range items {
+			es = append(es, ic.Entropy)
+		}
+		hist := stats.Histogram(es, bounds)
+		labels := []string{"[0,.1)", "[.1,.2)", "[.2,.3)", "[.3,.4)", "[.4,.5)",
+			"[.5,.6)", "[.6,.7)", "[.7,.8)", "[.8,.9)", "[.9,1)", "[1,)"}
+		for i, l := range labels {
+			ent.AddRow(l, report.Pct(float64(hist[i])/float64(len(es))))
+		}
+
+		dev := r.NewTable(d.Name+": deviation (conflicted numeric/time items)", "Deviation bin", "Share")
+		var dvs []float64
+		for _, ic := range items {
+			if ic.NumValues > 1 && !math.IsNaN(ic.Deviation) {
+				x := ic.Deviation
+				if d.Name == "Flight" {
+					x /= 10 // minutes scaled to the paper's bins (1 min per .1)
+				}
+				dvs = append(dvs, x)
+			}
+		}
+		if len(dvs) > 0 {
+			hist = stats.Histogram(dvs, bounds)
+			for i, l := range labels {
+				dev.AddRow(l, report.Pct(float64(hist[i])/float64(len(dvs))))
+			}
+		}
+	}
+	return r
+}
+
+// Figure5 finds and prints a Figure-5-style anecdote: one flight whose
+// scheduled arrival is reported differently by three or more sources, one
+// of them wildly wrong.
+func Figure5(e *Env) *report.Report {
+	r := &report.Report{ID: "figure5", Title: "Three sources disagreeing on a scheduled arrival"}
+	d := e.Flight()
+	attr, _ := d.DS.AttrByName("Scheduled arrival")
+	for id := 0; id < d.Snap.NumItems(); id++ {
+		item := model.ItemID(id)
+		if d.DS.Items[item].Attr != attr.ID {
+			continue
+		}
+		claims := d.Snap.ItemClaims(item)
+		if len(claims) < 3 {
+			continue
+		}
+		vals := make([]value.Value, len(claims))
+		for i := range claims {
+			vals[i] = claims[i].Val
+		}
+		buckets := value.Bucketize(vals, d.DS.Tolerance(attr.ID))
+		if len(buckets) < 3 {
+			continue
+		}
+		spread := math.Abs(buckets[len(buckets)-1].Rep.Num - buckets[0].Rep.Num)
+		if spread < 60 {
+			continue
+		}
+		truth, ok := d.Gold.Get(item)
+		if !ok {
+			continue
+		}
+		obj := d.DS.Objects[d.DS.Items[item].Object]
+		r.Note("Flight %s, gold scheduled arrival %s:", obj.Key, truth.String())
+		t := r.NewTable("", "Source", "Scheduled arrival", "Providers of this value")
+		for bi, b := range buckets {
+			if bi > 4 {
+				break
+			}
+			src := d.DS.Sources[claims[b.Members[0]].Source]
+			t.AddRow(src.Name, b.Rep.String(), len(b.Members))
+		}
+		r.Note("Paper anecdote: FlightView/FlightAware/Orbitz disagreeing on AA119, one by hours.")
+		return r
+	}
+	r.Note("no qualifying anecdote found at this scale")
+	return r
+}
+
+// Figure6 reproduces the reasons-for-inconsistency breakdown.
+func Figure6(e *Env) *report.Report {
+	r := &report.Report{ID: "figure6", Title: "Reasons for value inconsistency"}
+	paper := map[string]map[model.Cause]float64{
+		"Stock": {model.CauseSemantic: .46, model.CauseInstance: .06,
+			model.CauseStale: .34, model.CauseUnit: .03, model.CauseError: .11},
+		"Flight": {model.CauseSemantic: .33, model.CauseStale: .11, model.CauseError: .56},
+	}
+	for _, d := range e.Domains() {
+		shares := quality.Reasons(d.DS, d.Snap)
+		t := r.NewTable(d.Name, "Reason", "Share", "Paper")
+		for _, c := range []model.Cause{model.CauseSemantic, model.CauseInstance,
+			model.CauseStale, model.CauseUnit, model.CauseError} {
+			t.AddRow(c.String(), report.Pct(shares[c]), report.Pct(paper[d.Name][c]))
+		}
+	}
+	return r
+}
+
+// Figure7 reproduces the dominance-factor distribution and the precision of
+// dominant values per dominance bin.
+func Figure7(e *Env) *report.Report {
+	r := &report.Report{ID: "figure7", Title: "Dominant values"}
+	for _, d := range e.Domains() {
+		rep := quality.Dominance(d.DS, d.Snap, d.Gold, d.Fused)
+		t := r.NewTable(d.Name, "Dominance bin", "Share of items", "Precision of dominant")
+		for _, b := range rep.Bins {
+			t.AddRow(fmt.Sprintf("(%.1f,%.1f]", b.Low, b.High),
+				report.Pct(b.Share), report.F2(b.Precision))
+		}
+		paperVote := map[string]string{"Stock": "0.908", "Flight": "0.864"}[d.Name]
+		r.Note("%s precision of dominant values: %.3f (paper %s)", d.Name, rep.VotePrecision, paperVote)
+	}
+	return r
+}
+
+// Table4 reproduces accuracy and coverage of authoritative sources.
+func Table4(e *Env) *report.Report {
+	r := &report.Report{ID: "table4", Title: "Accuracy and coverage of authoritative sources"}
+	paper := map[string][2]float64{
+		"GoogleFinance": {.94, .82}, "YahooFinance": {.93, .81}, "NASDAQ": {.92, .84},
+		"MSNMoney": {.91, .89}, "Bloomberg": {.83, .81},
+		"Orbitz": {.98, .87}, "Travelocity": {.95, .71},
+	}
+	for _, d := range e.Domains() {
+		acc, cov := d.Gold.SourceAccuracy(d.DS, d.Snap)
+		t := r.NewTable(d.Name, "Source", "Accuracy", "Coverage", "Paper acc", "Paper cov")
+		names := []string{"GoogleFinance", "YahooFinance", "NASDAQ", "MSNMoney", "Bloomberg"}
+		if d.Name == "Flight" {
+			names = []string{"Orbitz", "Travelocity"}
+		}
+		for _, name := range names {
+			s, ok := d.DS.SourceByName(name)
+			if !ok {
+				continue
+			}
+			p := paper[name]
+			t.AddRow(name, report.F3(acc[s.ID]), report.F3(cov[s.ID]), report.F2(p[0]), report.F2(p[1]))
+		}
+		if d.Name == "Flight" {
+			// Airport-site averages (paper: accuracy .94, coverage .03).
+			var aAcc, aCov float64
+			n := 0
+			for _, s := range d.DS.Sources {
+				if len(s.Name) > 8 && s.Name[3:] == "-airport" {
+					aAcc += acc[s.ID]
+					aCov += cov[s.ID]
+					n++
+				}
+			}
+			if n > 0 {
+				t.AddRow("Airport average", report.F3(aAcc/float64(n)), report.F3(aCov/float64(n)), "0.94", "0.03")
+			}
+		}
+	}
+	return r
+}
+
+// Figure8 reproduces source accuracy over time: the accuracy distribution,
+// the per-source standard deviation over the period, and the precision of
+// dominant values per day.
+func Figure8(e *Env) *report.Report {
+	r := &report.Report{ID: "figure8", Title: "Source accuracy over time"}
+	for _, d := range e.Domains() {
+		snaps := make([]*model.Snapshot, 0, d.Days)
+		golds := make([]*model.TruthTable, 0, d.Days)
+		for day := 0; day < d.Days; day++ {
+			snap := d.Snap
+			if day != d.Day {
+				snap = d.Gen.Snapshot(day)
+			}
+			snaps = append(snaps, snap)
+			golds = append(golds, d.GoldFor(snap))
+		}
+		series := quality.AccuracyOverTime(d.DS, snaps, golds, d.Fused)
+
+		exclude := map[model.SourceID]bool{}
+		for _, s := range d.Gen.Authorities() {
+			if d.Name == "Flight" {
+				exclude[s] = true
+			}
+		}
+		var means, devs []float64
+		for _, s := range d.Fused {
+			if exclude[s] {
+				continue
+			}
+			means = append(means, series.Mean[s])
+			devs = append(devs, series.StdDev[s])
+		}
+		r.Note("%s: mean source accuracy %.3f (paper %s), mean accuracy stddev %.3f (paper %s), sources with stddev>0.1: %d (paper %s)",
+			d.Name, stats.Mean(means),
+			map[string]string{"Stock": ".86", "Flight": ".80"}[d.Name],
+			stats.Mean(devs),
+			map[string]string{"Stock": ".06", "Flight": ".05"}[d.Name],
+			countAbove(devs, 0.1),
+			map[string]string{"Stock": "4", "Flight": "1"}[d.Name])
+
+		hist := r.NewTable(d.Name+": accuracy distribution (snapshot)", "Accuracy bin", "Share of sources")
+		bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+		counts := stats.Histogram(means, bounds)
+		for i := range counts {
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			hi := 1.0
+			if i < len(bounds) {
+				hi = bounds[i]
+			}
+			hist.AddRow(fmt.Sprintf("[%.1f,%.1f)", lo, hi),
+				report.Pct(float64(counts[i])/float64(len(means))))
+		}
+
+		day := r.NewTable(d.Name+": precision of dominant values per day", "Day", "Precision")
+		for i, p := range series.DominantPrecision {
+			day.AddRow(fmt.Sprintf("%d", i+1), report.F3(p))
+		}
+	}
+	return r
+}
+
+func countAbove(xs []float64, t float64) int {
+	n := 0
+	for _, x := range xs {
+		if x > t {
+			n++
+		}
+	}
+	return n
+}
+
+// Table5 reproduces the copying-group commonality measures and the effect of
+// removing copiers on dominant-value precision.
+func Table5(e *Env) *report.Report {
+	r := &report.Report{ID: "table5", Title: "Potential copying between sources"}
+	for _, d := range e.Domains() {
+		acc, _ := d.Gold.SourceAccuracy(d.DS, d.Snap)
+		t := r.NewTable(d.Name, "Remarks", "Size", "Schema sim", "Object sim", "Value sim", "Avg accu")
+		for _, gs := range quality.CopyingStats(d.DS, d.Snap, d.QualityGroups(), acc) {
+			t.AddRow(gs.Remark, gs.Size, report.F2(gs.SchemaSim), report.F2(gs.ObjectSim),
+				report.F2(gs.ValueSim), report.F2(gs.AvgAccuracy))
+		}
+
+		// VOTE precision with and without copiers (keep one per group).
+		before := quality.Dominance(d.DS, d.Snap, d.Gold, d.Fused).VotePrecision
+		drop := map[model.SourceID]bool{}
+		for _, g := range d.Groups {
+			for i, m := range g.Members {
+				if i > 0 {
+					drop[m] = true
+				}
+			}
+		}
+		var kept []model.SourceID
+		for _, s := range d.Fused {
+			if !drop[s] {
+				kept = append(kept, s)
+			}
+		}
+		after := quality.Dominance(d.DS, d.Snap, d.Gold, kept).VotePrecision
+		paper := map[string]string{"Stock": ".908 -> .923", "Flight": ".864 -> .927"}[d.Name]
+		r.Note("%s dominant-value precision without copiers: %.3f -> %.3f (paper %s)",
+			d.Name, before, after, paper)
+	}
+	return r
+}

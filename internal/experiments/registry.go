@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"truthdiscovery/internal/report"
+)
+
+// Experiment binds one of the paper's exhibits to its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Env) *report.Report
+}
+
+// All returns every experiment in the paper's order, followed by the extra
+// design ablations.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Overview of data collections", Table1},
+		{"table2", "Examined attributes for Stock", Table2},
+		{"figure1", "Attribute coverage", Figure1},
+		{"figure2", "Object redundancy", Figure2},
+		{"figure3", "Data-item redundancy", Figure3},
+		{"table3", "Value inconsistency on attributes", Table3},
+		{"figure4", "Value inconsistency distributions", Figure4},
+		{"figure5", "Disagreeing flight sources (anecdote)", Figure5},
+		{"figure6", "Reasons for value inconsistency", Figure6},
+		{"figure7", "Dominant values", Figure7},
+		{"table4", "Authoritative source accuracy and coverage", Table4},
+		{"figure8", "Source accuracy over time", Figure8},
+		{"table5", "Potential copying between sources", Table5},
+		{"table6", "Summary of data-fusion methods", Table6},
+		{"table7", "Fusion precision on one snapshot", Table7},
+		{"figure9", "Fusion recall as sources are added", Figure9},
+		{"figure10", "Precision vs dominance factor", Figure10},
+		{"table8", "Pairwise method comparison", Table8},
+		{"figure11", "Error analysis of the best method", Figure11},
+		{"figure12", "Fusion precision vs efficiency", Figure12},
+		{"table9", "Fusion precision over the collection period", Table9},
+		{"accucopy-ablation", "Copy-detection design ablation", AccuCopyAblation},
+		{"tolerance-sweep", "Tolerance factor ablation", ToleranceSweep},
+		{"ensemble", "Combining fusion models (Section 5)", EnsembleExperiment},
+		{"seed-trust", "Seeding trust from consistent items (Section 5)", SeedTrustExperiment},
+		{"category-trust", "Per-category source trust (Section 5)", CategoryTrustExperiment},
+		{"source-selection", "Greedy source selection (Section 5)", SourceSelectionExperiment},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, x := range All() {
+		if x.ID == id {
+			return x, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,28 @@
+package fusion
+
+import "time"
+
+// Vote is the paper's baseline: the value provided by the largest number of
+// sources wins. Its precision equals the precision of dominant values
+// (Section 3.2), and it needs no iteration.
+type Vote struct{ identityScale }
+
+// Name implements Method.
+func (Vote) Name() string { return "Vote" }
+
+// Needs implements Method.
+func (Vote) Needs() BuildOptions { return BuildOptions{} }
+
+// Run implements Method. Buckets are pre-sorted by provider count, so the
+// dominant value is bucket 0 everywhere.
+func (Vote) Run(p *Problem, opts Options) *Result {
+	start := time.Now()
+	chosen := make([]int32, len(p.Items))
+	return &Result{
+		Method:    "Vote",
+		Chosen:    chosen,
+		Rounds:    1,
+		Converged: true,
+		Elapsed:   time.Since(start),
+	}
+}

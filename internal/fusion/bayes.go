@@ -1,0 +1,469 @@
+package fusion
+
+import (
+	"math"
+	"time"
+)
+
+// The Bayesian methods (Table 6): TRUTHFINDER plus the ACCU family
+// (ACCUPR, POPACCU, ACCUSIM, ACCUFORMAT, the per-attribute variants, and —
+// in copy.go — ACCUCOPY). The ACCU family shares one engine, accuRun,
+// parameterised by which insights are enabled, mirroring how the paper
+// derives each method from ACCUPR.
+
+// TruthFinder (Yin et al.) scores a value by the accumulated
+// -ln(1 - trust) of its providers, boosts the score with similar values'
+// scores, and squashes it into a confidence via a logistic with damping
+// factor gamma.
+type TruthFinder struct{ identityScale }
+
+// Name implements Method.
+func (TruthFinder) Name() string { return "TruthFinder" }
+
+// Needs implements Method.
+func (TruthFinder) Needs() BuildOptions { return BuildOptions{NeedSimilarity: true} }
+
+// TruthFinder constants from Yin et al.: rho weights similar values' votes,
+// gamma dampens the logistic, and initial trust is 0.9.
+const (
+	tfRho     = 0.5
+	tfGamma   = 0.3
+	tfInitial = 0.9
+	tfMaxTau  = 0.999999
+)
+
+// Run implements Method.
+func (TruthFinder) Run(p *Problem, opts Options) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := len(p.SourceIDs)
+	tau := initTrust(n, opts.startTrust(), tfInitial)
+	conf := newVoteSpace(p)
+	res := &Result{Method: "TruthFinder"}
+
+	for round := 1; ; round++ {
+		res.Rounds = round
+		for i := range p.Items {
+			it := &p.Items[i]
+			raw := make([]float64, len(it.Buckets))
+			for b, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					raw[b] += -math.Log(1 - math.Min(tau[s], tfMaxTau))
+				}
+			}
+			for b := range it.Buckets {
+				adj := raw[b]
+				for b2 := range it.Buckets {
+					if b2 != b {
+						adj += tfRho * float64(p.Sim[i][b][b2]) * raw[b2]
+					}
+				}
+				conf[i][b] = 1 / (1 + math.Exp(-tfGamma*adj))
+			}
+		}
+		if opts.InputTrust != nil {
+			res.Converged = true
+			break
+		}
+		next := make([]float64, n)
+		cnt := make([]float64, n)
+		for i := range p.Items {
+			for b, bk := range p.Items[i].Buckets {
+				for _, s := range bk.Sources {
+					next[s] += conf[i][b]
+					cnt[s]++
+				}
+			}
+		}
+		for s := range next {
+			if cnt[s] > 0 {
+				next[s] = clampTrust(next[s]/cnt[s], 0.01, tfMaxTau)
+			}
+		}
+		delta := maxDelta(tau, next)
+		tau = next
+		if delta < opts.Epsilon || round >= opts.MaxRounds {
+			res.Converged = delta < opts.Epsilon
+			break
+		}
+	}
+	res.Trust = tau
+	res.Chosen = choose(p, conf)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// accuConfig selects the insights an ACCU-family run uses.
+type accuConfig struct {
+	name       string
+	popularity bool // POPACCU: observed false-value popularity
+	sim        bool // value similarity boost
+	format     bool // format subsumption boost
+	perAttr    bool // per-attribute trust
+	perCat     bool // per-object-category trust (Section 5 extension)
+}
+
+// AccuPr applies Bayesian analysis with N uniformly distributed false
+// values: a source's vote count is ln(N*A/(1-A)) and the value
+// probabilities are normalised per item (Dong et al.).
+type AccuPr struct{ identityScale }
+
+// Name implements Method.
+func (AccuPr) Name() string { return "AccuPr" }
+
+// Needs implements Method.
+func (AccuPr) Needs() BuildOptions { return BuildOptions{} }
+
+// Run implements Method.
+func (AccuPr) Run(p *Problem, opts Options) *Result {
+	return accuRun(p, opts, accuConfig{name: "AccuPr"})
+}
+
+// PopAccu replaces ACCUPR's uniform-false-value assumption with the
+// observed popularity of false values, which keeps popular copied errors
+// from inflating their providers' trust.
+type PopAccu struct{ identityScale }
+
+// Name implements Method.
+func (PopAccu) Name() string { return "PopAccu" }
+
+// Needs implements Method.
+func (PopAccu) Needs() BuildOptions { return BuildOptions{} }
+
+// Run implements Method.
+func (PopAccu) Run(p *Problem, opts Options) *Result {
+	return accuRun(p, opts, accuConfig{name: "PopAccu", popularity: true})
+}
+
+// AccuSim augments ACCUPR with the value-similarity boost of TRUTHFINDER.
+type AccuSim struct{ identityScale }
+
+// Name implements Method.
+func (AccuSim) Name() string { return "AccuSim" }
+
+// Needs implements Method.
+func (AccuSim) Needs() BuildOptions { return BuildOptions{NeedSimilarity: true} }
+
+// Run implements Method.
+func (AccuSim) Run(p *Problem, opts Options) *Result {
+	return accuRun(p, opts, accuConfig{name: "AccuSim", sim: true})
+}
+
+// AccuFormat augments ACCUSIM with format subsumption: the provider of
+// "8M" is a partial provider of 7,528,396.
+type AccuFormat struct{ identityScale }
+
+// Name implements Method.
+func (AccuFormat) Name() string { return "AccuFormat" }
+
+// Needs implements Method.
+func (AccuFormat) Needs() BuildOptions {
+	return BuildOptions{NeedSimilarity: true, NeedFormat: true}
+}
+
+// Run implements Method.
+func (AccuFormat) Run(p *Problem, opts Options) *Result {
+	return accuRun(p, opts, accuConfig{name: "AccuFormat", sim: true, format: true})
+}
+
+// AccuSimAttr is ACCUSIM with per-attribute source trust.
+type AccuSimAttr struct{ identityScale }
+
+// Name implements Method.
+func (AccuSimAttr) Name() string { return "AccuSimAttr" }
+
+// Needs implements Method.
+func (AccuSimAttr) Needs() BuildOptions { return BuildOptions{NeedSimilarity: true} }
+
+// Run implements Method.
+func (AccuSimAttr) Run(p *Problem, opts Options) *Result {
+	return accuRun(p, opts, accuConfig{name: "AccuSimAttr", sim: true, perAttr: true})
+}
+
+// AccuFormatAttr is ACCUFORMAT with per-attribute source trust — the
+// paper's strongest method on the Stock snapshot.
+type AccuFormatAttr struct{ identityScale }
+
+// Name implements Method.
+func (AccuFormatAttr) Name() string { return "AccuFormatAttr" }
+
+// Needs implements Method.
+func (AccuFormatAttr) Needs() BuildOptions {
+	return BuildOptions{NeedSimilarity: true, NeedFormat: true}
+}
+
+// Run implements Method.
+func (AccuFormatAttr) Run(p *Problem, opts Options) *Result {
+	return accuRun(p, opts, accuConfig{name: "AccuFormatAttr", sim: true, format: true, perAttr: true})
+}
+
+// accuTrust holds global accuracies or accuracies keyed by attribute or
+// object category (the key space is chosen by the config).
+type accuTrust struct {
+	keyed  bool
+	global []float64
+	byKey  [][]float64 // [source][attr or category]
+}
+
+func (t *accuTrust) of(s int32, key int32) float64 {
+	if t.keyed {
+		return t.byKey[s][key]
+	}
+	return t.global[s]
+}
+
+// accuRun is the shared ACCU-family engine. weights, when non-nil, scales
+// each claim's vote (ACCUCOPY's independence probabilities); it is indexed
+// like the problem's buckets via claimWeight.
+func accuRun(p *Problem, opts Options, cfg accuConfig) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	res := accuIterate(p, opts, cfg, nil)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// claimWeights mirrors the problem's bucket layout: claimWeights[i][b][k]
+// weighs the k-th provider of bucket b on item i.
+type claimWeights [][][]float64
+
+// accuIterate runs the Bayesian iteration; weigh (optional) recomputes the
+// per-claim weights each round from the current state (used by ACCUCOPY).
+func accuIterate(p *Problem, opts Options, cfg accuConfig,
+	weigh func(round int, trust *accuTrust, probs [][]float64, chosen []int32) claimWeights) *Result {
+
+	n := len(p.SourceIDs)
+	// keyOf maps an item to its trust key: its attribute for the Attr
+	// variants, its object category for the Cat extension.
+	numKeys := 0
+	keyOf := func(i int) int32 { return 0 }
+	switch {
+	case cfg.perAttr:
+		numKeys = p.NumAttrs
+		keyOf = func(i int) int32 { return int32(p.Items[i].Attr) }
+	case cfg.perCat:
+		numKeys = len(p.CatNames)
+		if numKeys == 0 {
+			numKeys = 1
+		}
+		keyOf = func(i int) int32 {
+			if p.Cats == nil {
+				return 0
+			}
+			return p.Cats[i]
+		}
+	}
+	trust := &accuTrust{keyed: numKeys > 0}
+	if trust.keyed {
+		trust.byKey = make([][]float64, n)
+		for s := 0; s < n; s++ {
+			trust.byKey[s] = make([]float64, numKeys)
+			for a := range trust.byKey[s] {
+				trust.byKey[s][a] = 0.8
+			}
+			if cfg.perAttr && opts.InputAttrTrust != nil {
+				copy(trust.byKey[s], opts.InputAttrTrust[s])
+			} else if opts.InputTrust != nil {
+				for a := range trust.byKey[s] {
+					trust.byKey[s][a] = opts.InputTrust[s]
+				}
+			} else if opts.InitialTrust != nil {
+				for a := range trust.byKey[s] {
+					trust.byKey[s][a] = opts.InitialTrust[s]
+				}
+			}
+		}
+	} else {
+		trust.global = initTrust(n, opts.startTrust(), 0.8)
+	}
+	trustGiven := opts.InputTrust != nil || (cfg.perAttr && opts.InputAttrTrust != nil)
+
+	probs := newVoteSpace(p)
+	// Seed probabilities with provider shares (the VOTE prior) so that the
+	// first detection round of ACCUCOPY sees sensible uncertainty.
+	for i := range p.Items {
+		it := &p.Items[i]
+		for b, bk := range it.Buckets {
+			probs[i][b] = float64(len(bk.Sources)) / float64(it.Providers)
+		}
+	}
+	chosen := make([]int32, len(p.Items)) // starts at the dominant bucket
+	res := &Result{Method: cfg.name}
+	logN := math.Log(opts.NFalse)
+
+	var weights claimWeights
+	for round := 1; ; round++ {
+		res.Rounds = round
+		if weigh != nil {
+			weights = weigh(round, trust, probs, chosen)
+		}
+		for i := range p.Items {
+			it := &p.Items[i]
+			scores := probs[i]
+			m := float64(it.Providers)
+			for b, bk := range it.Buckets {
+				var l float64
+				for k, s := range bk.Sources {
+					a := clampTrust(trust.of(s, keyOf(i)), 0.01, 0.99)
+					w := 1.0
+					if weights != nil {
+						w = weights[i][b][k]
+					}
+					if cfg.popularity {
+						l += w * math.Log(a/(1-a))
+					} else {
+						l += w * (logN + math.Log(a/(1-a)))
+					}
+				}
+				if cfg.popularity {
+					// Non-providers of b supply false values whose
+					// popularity is their provider share among the
+					// remaining sources (Dong, Saha, Srivastava).
+					for b2, bk2 := range it.Buckets {
+						if b2 == b {
+							continue
+						}
+						pop := float64(len(bk2.Sources)) / math.Max(1, m-float64(len(bk.Sources)))
+						l += float64(len(bk2.Sources)) * math.Log(math.Max(pop, 1e-9))
+					}
+				}
+				scores[b] = l
+			}
+			if cfg.sim {
+				boosted := make([]float64, len(it.Buckets))
+				for b := range it.Buckets {
+					boost := scores[b]
+					for b2 := range it.Buckets {
+						if b2 != b {
+							boost += opts.SimWeight * float64(p.Sim[i][b][b2]) * scores[b2]
+						}
+					}
+					boosted[b] = boost
+				}
+				copy(scores, boosted)
+			}
+			if cfg.format && p.Format != nil {
+				for _, fp := range p.Format[i] {
+					scores[fp.Fine] += opts.SimWeight * math.Max(scores[fp.Coarse], 0)
+				}
+			}
+			softmaxInPlace(scores)
+			chosen[i] = argmax32(scores)
+		}
+
+		if trustGiven {
+			// With sampled trust there is no estimation loop; ACCUCOPY
+			// still refines its copy weights until choices stabilise.
+			if weigh == nil || round >= 5 {
+				res.Converged = true
+				break
+			}
+			continue
+		}
+
+		var delta float64
+		if trust.keyed {
+			next := make([][]float64, n)
+			cnt := make([][]float64, n)
+			for s := 0; s < n; s++ {
+				next[s] = make([]float64, numKeys)
+				cnt[s] = make([]float64, numKeys)
+			}
+			for i := range p.Items {
+				it := &p.Items[i]
+				key := keyOf(i)
+				for b, bk := range it.Buckets {
+					for _, s := range bk.Sources {
+						next[s][key] += probs[i][b]
+						cnt[s][key]++
+					}
+				}
+			}
+			for s := 0; s < n; s++ {
+				for a := 0; a < numKeys; a++ {
+					var v float64
+					if cnt[s][a] > 0 {
+						v = clampTrust(next[s][a]/cnt[s][a], 0.01, 0.99)
+					} else {
+						v = trust.byKey[s][a]
+					}
+					if d := math.Abs(v - trust.byKey[s][a]); d > delta {
+						delta = d
+					}
+					trust.byKey[s][a] = v
+				}
+			}
+		} else {
+			next := make([]float64, n)
+			cnt := make([]float64, n)
+			for i := range p.Items {
+				for b, bk := range p.Items[i].Buckets {
+					for _, s := range bk.Sources {
+						next[s] += probs[i][b]
+						cnt[s]++
+					}
+				}
+			}
+			for s := range next {
+				if cnt[s] > 0 {
+					next[s] = clampTrust(next[s]/cnt[s], 0.01, 0.99)
+				} else {
+					next[s] = trust.global[s]
+				}
+			}
+			delta = maxDelta(trust.global, next)
+			trust.global = next
+		}
+		if delta < opts.Epsilon || round >= opts.MaxRounds {
+			res.Converged = delta < opts.Epsilon
+			break
+		}
+	}
+
+	if trust.keyed {
+		if cfg.perAttr {
+			res.AttrTrust = trust.byKey
+		}
+		// Report the per-source mean as the scalar trust.
+		res.Trust = make([]float64, n)
+		claims := make([]float64, n)
+		for i := range p.Items {
+			key := keyOf(i)
+			for _, bk := range p.Items[i].Buckets {
+				for _, s := range bk.Sources {
+					res.Trust[s] += trust.byKey[s][key]
+					claims[s]++
+				}
+			}
+		}
+		for s := range res.Trust {
+			if claims[s] > 0 {
+				res.Trust[s] /= claims[s]
+			}
+		}
+	} else {
+		res.Trust = trust.global
+	}
+	res.Chosen = chosen
+	return res
+}
+
+// softmaxInPlace converts log-scores to probabilities.
+func softmaxInPlace(l []float64) {
+	m := math.Inf(-1)
+	for _, x := range l {
+		if x > m {
+			m = x
+		}
+	}
+	var z float64
+	for i := range l {
+		l[i] = math.Exp(l[i] - m)
+		z += l[i]
+	}
+	if z > 0 {
+		for i := range l {
+			l[i] /= z
+		}
+	}
+}

@@ -1,0 +1,487 @@
+// Package fusion implements the sixteen data-fusion methods the paper
+// evaluates (Section 4.1, Table 6), a shared iterative framework, and the
+// evaluation measures of Section 4.2 (precision, recall, trustworthiness
+// deviation and difference).
+//
+// All methods operate on a Problem: the tolerance-bucketed view of one
+// snapshot restricted to the fused sources. Methods follow the paper's
+// template — accumulate votes for each value of an item from its providers,
+// derive source trustworthiness from the votes, iterate to convergence —
+// and differ in how votes and trustworthiness are computed.
+package fusion
+
+import (
+	"math"
+	"time"
+
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// Problem is the fusion input: every claimed item with its value buckets,
+// restricted to the participating sources.
+type Problem struct {
+	// SourceIDs maps the problem's dense source index to dataset SourceIDs.
+	SourceIDs []model.SourceID
+	// Items lists every item with at least one claim, in ItemID order.
+	Items []ProblemItem
+	// NumAttrs is the dataset's attribute-table size (per-attribute trust).
+	NumAttrs int
+	// ClaimsPerSource counts each source's claims (web-link methods use it).
+	ClaimsPerSource []int
+	// Cats assigns each item the category index of its object (the object's
+	// Group: the operating airline for flights, the index membership for
+	// stocks) and CatNames names the categories. Used by the per-category
+	// trust extension (Section 5 of the paper).
+	Cats     []int32
+	CatNames []string
+
+	// Sim[i][b][b2] is the value similarity between buckets b and b2 of
+	// item i; nil unless built with NeedSimilarity.
+	Sim [][][]float32
+	// Format[i] lists the format-subsumption pairs of item i (fine bucket
+	// supported by coarse bucket); nil unless built with NeedFormat.
+	Format [][]FormatPair
+}
+
+// ProblemItem is one data item's bucketed claims.
+type ProblemItem struct {
+	Item model.ItemID
+	Attr model.AttrID
+	Tol  float64
+	// Buckets are ordered by descending provider count (bucket 0 is the
+	// dominant value). Sources hold dense problem source indices.
+	Buckets []Bucket
+	// Providers is the total number of providing sources.
+	Providers int
+}
+
+// Bucket is one tolerance-equivalent value group on an item.
+type Bucket struct {
+	Rep     value.Value
+	Sources []int32
+}
+
+// FormatPair states that the coarse bucket's representative is a rounded
+// version of the fine bucket's representative, so coarse providers
+// partially support the fine value (the paper's formatting insight).
+type FormatPair struct {
+	Fine, Coarse int32
+}
+
+// BuildOptions declares which auxiliary structures a method needs.
+type BuildOptions struct {
+	NeedSimilarity bool
+	NeedFormat     bool
+}
+
+// Build constructs the fusion problem from a snapshot, keeping only claims
+// by the given sources (nil = all sources).
+func Build(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID, opts BuildOptions) *Problem {
+	if sources == nil {
+		sources = make([]model.SourceID, len(ds.Sources))
+		for i := range sources {
+			sources[i] = model.SourceID(i)
+		}
+	}
+	denseOf := make([]int32, len(ds.Sources))
+	for i := range denseOf {
+		denseOf[i] = -1
+	}
+	for i, s := range sources {
+		denseOf[s] = int32(i)
+	}
+
+	p := &Problem{
+		SourceIDs:       sources,
+		NumAttrs:        len(ds.Attrs),
+		ClaimsPerSource: make([]int, len(sources)),
+	}
+	catIndex := make(map[string]int32)
+	var vals []value.Value
+	var srcs []int32
+	for id := 0; id < snap.NumItems(); id++ {
+		claims := snap.ItemClaims(model.ItemID(id))
+		vals = vals[:0]
+		srcs = srcs[:0]
+		for i := range claims {
+			d := denseOf[claims[i].Source]
+			if d < 0 {
+				continue
+			}
+			vals = append(vals, claims[i].Val)
+			srcs = append(srcs, d)
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		attr := ds.Items[id].Attr
+		tol := ds.Tolerance(attr)
+		raw := value.Bucketize(vals, tol)
+		buckets := make([]Bucket, len(raw))
+		for bi, b := range raw {
+			ss := make([]int32, len(b.Members))
+			for mi, m := range b.Members {
+				ss[mi] = srcs[m]
+				p.ClaimsPerSource[srcs[m]]++
+			}
+			buckets[bi] = Bucket{Rep: b.Rep, Sources: ss}
+		}
+		p.Items = append(p.Items, ProblemItem{
+			Item:      model.ItemID(id),
+			Attr:      attr,
+			Tol:       tol,
+			Buckets:   buckets,
+			Providers: len(vals),
+		})
+		group := ds.Objects[ds.Items[id].Object].Group
+		cat, ok := catIndex[group]
+		if !ok {
+			cat = int32(len(p.CatNames))
+			catIndex[group] = cat
+			p.CatNames = append(p.CatNames, group)
+		}
+		p.Cats = append(p.Cats, cat)
+	}
+
+	if opts.NeedSimilarity {
+		p.Sim = make([][][]float32, len(p.Items))
+		for i := range p.Items {
+			it := &p.Items[i]
+			n := len(it.Buckets)
+			sim := make([][]float32, n)
+			for a := 0; a < n; a++ {
+				sim[a] = make([]float32, n)
+				for b := 0; b < n; b++ {
+					if a == b {
+						continue
+					}
+					sim[a][b] = float32(value.Similarity(it.Buckets[a].Rep, it.Buckets[b].Rep, it.Tol))
+				}
+			}
+			p.Sim[i] = sim
+		}
+	}
+	if opts.NeedFormat {
+		p.Format = make([][]FormatPair, len(p.Items))
+		for i := range p.Items {
+			it := &p.Items[i]
+			var pairs []FormatPair
+			for a := range it.Buckets {
+				for b := range it.Buckets {
+					if a != b && value.RoundsTo(it.Buckets[a].Rep, it.Buckets[b].Rep) {
+						pairs = append(pairs, FormatPair{Fine: int32(a), Coarse: int32(b)})
+					}
+				}
+			}
+			p.Format[i] = pairs
+		}
+	}
+	return p
+}
+
+// Options configures one fusion run.
+type Options struct {
+	// MaxRounds and Epsilon bound the iteration (defaults 100 and 1e-6).
+	MaxRounds int
+	Epsilon   float64
+	// InputTrust, when non-nil, supplies the sampled source trustworthiness
+	// (in the method's own scale, per SampleTrust) and disables the trust
+	// re-estimation loop — the paper's "prec w. trust" columns.
+	InputTrust []float64
+	// InputAttrTrust optionally supplies per-(source, attribute) sampled
+	// trust for the per-attribute methods.
+	InputAttrTrust [][]float64
+	// KnownGroups, when non-nil, gives ACCUCOPY the discovered copying
+	// groups (Table 5): all members but the first are ignored, as the paper
+	// does when input trust is supplied.
+	KnownGroups [][]model.SourceID
+	// NFalse is the assumed number of uniformly distributed false values in
+	// the Bayesian methods (default 50).
+	NFalse float64
+	// SimWeight is the similarity/formatting boost factor rho (default 0.5).
+	SimWeight float64
+	// CopyDetectSimilarityAware lets ACCUCOPY's copy detection treat values
+	// highly similar to the current truth as true — the strongest form of
+	// the robustness fix the paper calls for in Section 5.
+	CopyDetectSimilarityAware bool
+	// CopyDetectPaper2009 reverts ACCUCOPY's detector to the plain 2009
+	// model: uniform false-value likelihood and no contested-value
+	// handling. This reproduces the false-positive failure the paper
+	// reports on numeric (Stock) data.
+	CopyDetectPaper2009 bool
+	// InitialTrust seeds the trust-estimation iteration without disabling
+	// it — the Section 5 suggestion of starting from "seed trustworthiness
+	// better than the currently employed default values" (see SeedTrust).
+	// Ignored when InputTrust is set.
+	InitialTrust []float64
+}
+
+// startTrust resolves the trust vector a method begins with: sampled input
+// trust if given, then the iteration seed, then nil (method default).
+func (o Options) startTrust() []float64 {
+	if o.InputTrust != nil {
+		return o.InputTrust
+	}
+	return o.InitialTrust
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 100
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-6
+	}
+	if o.NFalse <= 0 {
+		o.NFalse = 50
+	}
+	if o.SimWeight <= 0 {
+		o.SimWeight = 0.5
+	}
+	return o
+}
+
+// Result is one fusion run's output.
+type Result struct {
+	Method string
+	// Chosen[i] is the winning bucket of Problem.Items[i].
+	Chosen []int32
+	// Trust is the final per-source trustworthiness in the method's scale
+	// (nil for VOTE).
+	Trust []float64
+	// AttrTrust is the per-attribute trust for the attr methods.
+	AttrTrust [][]float64
+	Rounds    int
+	Converged bool
+	Elapsed   time.Duration
+}
+
+// Method is one fusion algorithm.
+type Method interface {
+	Name() string
+	// Needs declares the auxiliary structures the method reads.
+	Needs() BuildOptions
+	// Run executes the method on a problem.
+	Run(p *Problem, opts Options) *Result
+	// TrustScale converts gold-standard source accuracy into the method's
+	// trust scale (for sampled-trust input and deviation reporting).
+	TrustScale(accuracy []float64) []float64
+}
+
+// identityScale is the default accuracy-is-trust scale.
+type identityScale struct{}
+
+func (identityScale) TrustScale(accuracy []float64) []float64 {
+	out := make([]float64, len(accuracy))
+	copy(out, accuracy)
+	return out
+}
+
+// Methods returns the paper's method roster in Table 6 order.
+func Methods() []Method {
+	return []Method{
+		Vote{},
+		Hub{},
+		AvgLog{},
+		Invest{},
+		PooledInvest{},
+		Cosine{},
+		TwoEstimates{},
+		ThreeEstimates{},
+		TruthFinder{},
+		AccuPr{},
+		PopAccu{},
+		AccuSim{},
+		AccuFormat{},
+		AccuSimAttr{},
+		AccuFormatAttr{},
+		AccuCopy{},
+	}
+}
+
+// ByName returns the method with the given name.
+func ByName(name string) (Method, bool) {
+	for _, m := range Methods() {
+		if m.Name() == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Eval holds the Section 4.2 measures for one run against a gold standard.
+type Eval struct {
+	// Precision is the share of output values on gold items that agree
+	// with gold; Recall the share of gold items answered correctly. When
+	// every gold item receives an output the two coincide, as the paper
+	// notes.
+	Precision float64
+	Recall    float64
+	// TrustDev is Eq. 4 between sampled and computed trust; TrustDiff the
+	// mean computed minus mean sampled trust. Zero for VOTE.
+	TrustDev  float64
+	TrustDiff float64
+	// Errors counts gold items answered incorrectly.
+	Errors int
+}
+
+// Evaluate scores a fusion result against a gold standard.
+func Evaluate(ds *model.Dataset, p *Problem, res *Result, gold *model.TruthTable) Eval {
+	right, answered := 0, 0
+	for i := range p.Items {
+		it := &p.Items[i]
+		truth, ok := gold.Get(it.Item)
+		if !ok {
+			continue
+		}
+		answered++
+		rep := it.Buckets[res.Chosen[i]].Rep
+		if value.Equal(truth, rep, it.Tol) {
+			right++
+		}
+	}
+	var e Eval
+	if answered > 0 {
+		e.Precision = float64(right) / float64(answered)
+	}
+	if gold.Len() > 0 {
+		e.Recall = float64(right) / float64(gold.Len())
+	}
+	e.Errors = answered - right
+	return e
+}
+
+// EvaluateTrust fills the trust deviation/difference fields by comparing
+// the result's computed trust with the sampled trust (the method's scale).
+func EvaluateTrust(e *Eval, res *Result, sampled []float64) {
+	if res.Trust == nil || len(sampled) != len(res.Trust) {
+		return
+	}
+	var dev, diff float64
+	for i := range sampled {
+		d := res.Trust[i] - sampled[i]
+		dev += d * d
+		diff += d
+	}
+	n := float64(len(sampled))
+	e.TrustDev = math.Sqrt(dev / n)
+	e.TrustDiff = diff / n
+}
+
+// SampleAccuracy computes each problem source's accuracy on the gold items
+// of the given snapshot — the paper's "sampled trustworthiness" before any
+// method-specific scaling. Sources with no claims on gold items (the
+// airport sites cover almost nothing) have unknown accuracy and default to
+// the mean accuracy of the sampled sources rather than zero, which would
+// poison trust-seeded runs and copy detection.
+func SampleAccuracy(ds *model.Dataset, snap *model.Snapshot, p *Problem, gold *model.TruthTable) []float64 {
+	acc, cov := gold.SourceAccuracy(ds, snap)
+	out := make([]float64, len(p.SourceIDs))
+	var sum float64
+	n := 0
+	for _, s := range p.SourceIDs {
+		if cov[s] > 0 {
+			sum += acc[s]
+			n++
+		}
+	}
+	mean := 0.8
+	if n > 0 {
+		mean = sum / float64(n)
+	}
+	for i, s := range p.SourceIDs {
+		if cov[s] > 0 {
+			out[i] = acc[s]
+		} else {
+			out[i] = mean
+		}
+	}
+	return out
+}
+
+// SampleAttrAccuracy computes per-(source, attribute) accuracy on gold
+// items, with the source's overall accuracy as fallback for unseen pairs.
+func SampleAttrAccuracy(ds *model.Dataset, snap *model.Snapshot, p *Problem, gold *model.TruthTable) [][]float64 {
+	acc, _ := gold.SourceAccuracy(ds, snap)
+	per := gold.PerAttrAccuracy(ds, snap, acc)
+	out := make([][]float64, len(p.SourceIDs))
+	for i, s := range p.SourceIDs {
+		out[i] = per[s]
+	}
+	return out
+}
+
+// argmax32 returns the index of the largest vote, preferring the lowest
+// index on ties (bucket 0 is the dominant value, keeping ties deterministic
+// and VOTE-compatible).
+func argmax32(votes []float64) int32 {
+	best := 0
+	for i := 1; i < len(votes); i++ {
+		if votes[i] > votes[best] {
+			best = i
+		}
+	}
+	return int32(best)
+}
+
+// maxDelta returns the largest absolute element-wise difference.
+func maxDelta(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// normalizeMax scales xs so its maximum is 1 (no-op for all-zero input).
+func normalizeMax(xs []float64) {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if m <= 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] /= m
+	}
+}
+
+// rescale01 linearly rescales xs to span [lo, hi] (the "complex
+// normalization" of 2-ESTIMATES / 3-ESTIMATES).
+func rescale01(xs []float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi <= lo {
+		return
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - lo) / (hi - lo)
+	}
+}
+
+func clampTrust(x, lo, hi float64) float64 {
+	if math.IsNaN(x) {
+		return lo
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,361 @@
+package fusion
+
+import (
+	"math"
+	"time"
+)
+
+// The IR-based methods of Galland et al. (Table 6): COSINE, 2-ESTIMATES and
+// 3-ESTIMATES. A source providing value v on an item implicitly votes
+// against the item's other values, so every method here processes both
+// positive votes (the claimed bucket) and complement votes (the rest).
+
+// Cosine computes source trust as the cosine similarity between the
+// source's +-1 claim vector and the current truth scores, weights votes by
+// trust cubed, and damps trust updates for stability.
+type Cosine struct{}
+
+// Name implements Method.
+func (Cosine) Name() string { return "Cosine" }
+
+// Needs implements Method.
+func (Cosine) Needs() BuildOptions { return BuildOptions{} }
+
+// TrustScale implements Method: a source with accuracy a agrees with the
+// truth vector on a and disputes on 1-a of its claims, so its exact cosine
+// is 2a-1.
+func (Cosine) TrustScale(accuracy []float64) []float64 {
+	out := make([]float64, len(accuracy))
+	for i, a := range accuracy {
+		out[i] = 2*a - 1
+	}
+	return out
+}
+
+// cosineDamping keeps 20% of the old trust each round ("To improve
+// stability, it sets the new trustworthiness as a linear combination of the
+// old trustworthiness and the newly computed one").
+const cosineDamping = 0.2
+
+// Run implements Method.
+func (Cosine) Run(p *Problem, opts Options) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := len(p.SourceIDs)
+	trust := initTrust(n, opts.startTrust(), 0.5)
+	scores := newVoteSpace(p)
+
+	res := &Result{Method: "Cosine"}
+	for round := 1; ; round++ {
+		res.Rounds = round
+		// Truth scores in [-1, 1]: cubic positive mass minus cubic negative
+		// mass over the item's total cubic mass.
+		for i := range p.Items {
+			it := &p.Items[i]
+			var total float64
+			cub := make([]float64, len(it.Buckets))
+			for b, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					w := trust[s] * trust[s] * trust[s]
+					cub[b] += w
+					total += math.Abs(w)
+				}
+			}
+			for b := range it.Buckets {
+				if total > 0 {
+					scores[i][b] = (cub[b] - (sum(cub) - cub[b])) / total
+				} else {
+					scores[i][b] = 0
+				}
+			}
+		}
+		if opts.InputTrust != nil {
+			res.Converged = true
+			break
+		}
+		// Cosine similarity between each source's claim vector (+1 claimed,
+		// -1 other observed values) and the score vector.
+		num := make([]float64, n)
+		den := make([]float64, n) // score-norm contribution per source
+		cnt := make([]float64, n) // claim-vector norm^2 per source
+		for i := range p.Items {
+			it := &p.Items[i]
+			var sqsum float64
+			for b := range it.Buckets {
+				sqsum += scores[i][b] * scores[i][b]
+			}
+			var all float64
+			for b := range it.Buckets {
+				all += scores[i][b]
+			}
+			for b, bk := range it.Buckets {
+				// +score for the claimed value, -score for every other.
+				contrib := scores[i][b] - (all - scores[i][b])
+				for _, s := range bk.Sources {
+					num[s] += contrib
+					den[s] += sqsum
+					cnt[s] += float64(len(it.Buckets))
+				}
+			}
+		}
+		next := make([]float64, n)
+		for s := 0; s < n; s++ {
+			d := math.Sqrt(den[s]) * math.Sqrt(cnt[s])
+			var c float64
+			if d > 0 {
+				c = num[s] / d
+			}
+			next[s] = cosineDamping*trust[s] + (1-cosineDamping)*clampTrust(c, -1, 1)
+		}
+		delta := maxDelta(trust, next)
+		trust = next
+		if delta < opts.Epsilon || round >= opts.MaxRounds {
+			res.Converged = delta < opts.Epsilon
+			break
+		}
+	}
+	res.Trust = trust
+	res.Chosen = choose(p, scores)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TwoEstimates averages positive and complement votes and applies the full
+// [0,1] linear renormalisation Galland et al. require for convergence.
+type TwoEstimates struct{ identityScale }
+
+// Name implements Method.
+func (TwoEstimates) Name() string { return "2-Estimates" }
+
+// Needs implements Method.
+func (TwoEstimates) Needs() BuildOptions { return BuildOptions{} }
+
+// Run implements Method.
+func (TwoEstimates) Run(p *Problem, opts Options) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := len(p.SourceIDs)
+	trust := initTrust(n, opts.startTrust(), 0.8)
+	scores := newVoteSpace(p)
+
+	res := &Result{Method: "2-Estimates"}
+	for round := 1; ; round++ {
+		res.Rounds = round
+		var flat []float64
+		for i := range p.Items {
+			it := &p.Items[i]
+			// trustSum over all providers of the item.
+			var trustAll float64
+			for _, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					trustAll += trust[s]
+				}
+			}
+			for b, bk := range it.Buckets {
+				var pos float64
+				for _, s := range bk.Sources {
+					pos += trust[s]
+				}
+				neg := float64(it.Providers-len(bk.Sources)) - (trustAll - pos)
+				scores[i][b] = (pos + neg) / float64(it.Providers)
+			}
+			flat = append(flat, scores[i]...)
+		}
+		rescale01(flat)
+		idx := 0
+		for i := range p.Items {
+			for b := range p.Items[i].Buckets {
+				scores[i][b] = flat[idx]
+				idx++
+			}
+		}
+		if opts.InputTrust != nil {
+			res.Converged = true
+			break
+		}
+		next := make([]float64, n)
+		cnt := make([]float64, n)
+		for i := range p.Items {
+			it := &p.Items[i]
+			var all float64
+			for b := range it.Buckets {
+				all += scores[i][b]
+			}
+			for b, bk := range it.Buckets {
+				others := all - scores[i][b]
+				complement := float64(len(it.Buckets)-1) - others
+				for _, s := range bk.Sources {
+					next[s] += scores[i][b] + complement
+					cnt[s] += float64(len(it.Buckets))
+				}
+			}
+		}
+		for s := range next {
+			if cnt[s] > 0 {
+				next[s] /= cnt[s]
+			}
+		}
+		rescale01(next)
+		delta := maxDelta(trust, next)
+		trust = next
+		if delta < opts.Epsilon || round >= opts.MaxRounds {
+			res.Converged = delta < opts.Epsilon
+			break
+		}
+	}
+	res.Trust = trust
+	res.Chosen = choose(p, scores)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// ThreeEstimates extends 2-ESTIMATES with a per-value error factor
+// epsilon(v) — the likelihood that a vote on the value is wrong — estimated
+// jointly with source trust under P(s right on v) = 1 - (1-theta_s)eps_v.
+type ThreeEstimates struct{ identityScale }
+
+// Name implements Method.
+func (ThreeEstimates) Name() string { return "3-Estimates" }
+
+// Needs implements Method.
+func (ThreeEstimates) Needs() BuildOptions { return BuildOptions{} }
+
+// Run implements Method.
+func (ThreeEstimates) Run(p *Problem, opts Options) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := len(p.SourceIDs)
+	trust := initTrust(n, opts.startTrust(), 0.8)
+	scores := newVoteSpace(p)
+	eps := newVoteSpace(p) // per-value error factor
+	for i := range eps {
+		for b := range eps[i] {
+			eps[i][b] = 0.4
+		}
+	}
+
+	res := &Result{Method: "3-Estimates"}
+	for round := 1; ; round++ {
+		res.Rounds = round
+		// sigma(v) = avg_s [ claimed: 1-(1-theta)eps ; other: (1-theta)eps ].
+		var flat []float64
+		for i := range p.Items {
+			it := &p.Items[i]
+			var trustAll float64
+			for _, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					trustAll += trust[s]
+				}
+			}
+			for b, bk := range it.Buckets {
+				var pos float64
+				for _, s := range bk.Sources {
+					pos += 1 - (1-trust[s])*eps[i][b]
+				}
+				negMass := (float64(it.Providers-len(bk.Sources)) - (trustAll - sumTrust(bk.Sources, trust))) * eps[i][b]
+				scores[i][b] = (pos + negMass) / float64(it.Providers)
+			}
+			flat = append(flat, scores[i]...)
+		}
+		rescale01(flat)
+		idx := 0
+		for i := range p.Items {
+			for b := range p.Items[i].Buckets {
+				scores[i][b] = flat[idx]
+				idx++
+			}
+		}
+
+		// eps(v) = avg_s [ claimed: (1-sigma)/(1-theta) ; other: sigma/(1-theta) ].
+		var flatEps []float64
+		for i := range p.Items {
+			it := &p.Items[i]
+			for b, bk := range it.Buckets {
+				var e, cnt float64
+				for _, s := range bk.Sources {
+					e += (1 - scores[i][b]) / math.Max(1e-9, 1-trust[s])
+					cnt++
+				}
+				for b2, bk2 := range it.Buckets {
+					if b2 == b {
+						continue
+					}
+					for _, s := range bk2.Sources {
+						e += scores[i][b] / math.Max(1e-9, 1-trust[s])
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					eps[i][b] = clampTrust(e/cnt, 0, 1)
+				}
+			}
+			flatEps = append(flatEps, eps[i]...)
+		}
+		rescale01(flatEps)
+		idx = 0
+		for i := range p.Items {
+			for b := range p.Items[i].Buckets {
+				eps[i][b] = flatEps[idx]
+				idx++
+			}
+		}
+
+		if opts.InputTrust != nil {
+			res.Converged = true
+			break
+		}
+		// theta(s) = avg_v [ claimed: 1-(1-sigma)/eps ; other: 1-sigma/eps ].
+		next := make([]float64, n)
+		cnt := make([]float64, n)
+		for i := range p.Items {
+			it := &p.Items[i]
+			for b, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					next[s] += clampTrust(1-(1-scores[i][b])/math.Max(1e-9, eps[i][b]), 0, 1)
+					cnt[s]++
+				}
+				for b2 := range it.Buckets {
+					if b2 == b {
+						continue
+					}
+					for _, s := range bk.Sources {
+						next[s] += clampTrust(1-scores[i][b2]/math.Max(1e-9, eps[i][b2]), 0, 1)
+						cnt[s]++
+					}
+				}
+			}
+		}
+		for s := range next {
+			if cnt[s] > 0 {
+				next[s] /= cnt[s]
+			}
+		}
+		rescale01(next)
+		delta := maxDelta(trust, next)
+		trust = next
+		if delta < opts.Epsilon || round >= opts.MaxRounds {
+			res.Converged = delta < opts.Epsilon
+			break
+		}
+	}
+	res.Trust = trust
+	res.Chosen = choose(p, scores)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func sumTrust(ss []int32, trust []float64) float64 {
+	var t float64
+	for _, s := range ss {
+		t += trust[s]
+	}
+	return t
+}

@@ -1,0 +1,275 @@
+package fusion
+
+import (
+	"math"
+	"time"
+)
+
+// The Web-link based methods (Table 6): HUB, AVGLOG, INVEST, POOLEDINVEST.
+// They descend from authority analysis on hyperlink graphs — a value's vote
+// is the trust mass of its providers, a source's trust the vote mass of its
+// values — and differ in how the mass is averaged, invested and returned.
+
+// Hub adapts Kleinberg's hubs-and-authorities to fusion: vote(v) = sum of
+// provider trust; trust(s) = sum of its values' votes; both max-normalised
+// every round to keep the fixpoint bounded.
+type Hub struct{ identityScale }
+
+// Name implements Method.
+func (Hub) Name() string { return "Hub" }
+
+// Needs implements Method.
+func (Hub) Needs() BuildOptions { return BuildOptions{} }
+
+// Run implements Method.
+func (Hub) Run(p *Problem, opts Options) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := len(p.SourceIDs)
+	trust := initTrust(n, opts.startTrust(), 1)
+	votes := newVoteSpace(p)
+
+	res := &Result{Method: "Hub"}
+	for round := 1; ; round++ {
+		res.Rounds = round
+		for i := range p.Items {
+			for b, bk := range p.Items[i].Buckets {
+				var v float64
+				for _, s := range bk.Sources {
+					v += trust[s]
+				}
+				votes[i][b] = v
+			}
+		}
+		if opts.InputTrust != nil {
+			res.Converged = true
+			break
+		}
+		next := make([]float64, n)
+		for i := range p.Items {
+			for b, bk := range p.Items[i].Buckets {
+				for _, s := range bk.Sources {
+					next[s] += votes[i][b]
+				}
+			}
+		}
+		normalizeMax(next)
+		delta := maxDelta(trust, next)
+		trust = next
+		if delta < opts.Epsilon || round >= opts.MaxRounds {
+			res.Converged = delta < opts.Epsilon
+			break
+		}
+	}
+	res.Trust = trust
+	res.Chosen = choose(p, votes)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// AvgLog tempers HUB's bias toward prolific sources: trust is the log of
+// the claim count times the average (not the sum) of the value votes.
+type AvgLog struct{ identityScale }
+
+// Name implements Method.
+func (AvgLog) Name() string { return "AvgLog" }
+
+// Needs implements Method.
+func (AvgLog) Needs() BuildOptions { return BuildOptions{} }
+
+// Run implements Method.
+func (AvgLog) Run(p *Problem, opts Options) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := len(p.SourceIDs)
+	trust := initTrust(n, opts.startTrust(), 1)
+	votes := newVoteSpace(p)
+
+	res := &Result{Method: "AvgLog"}
+	for round := 1; ; round++ {
+		res.Rounds = round
+		for i := range p.Items {
+			for b, bk := range p.Items[i].Buckets {
+				var v float64
+				for _, s := range bk.Sources {
+					v += trust[s]
+				}
+				votes[i][b] = v
+			}
+		}
+		if opts.InputTrust != nil {
+			res.Converged = true
+			break
+		}
+		sum := make([]float64, n)
+		for i := range p.Items {
+			for b, bk := range p.Items[i].Buckets {
+				for _, s := range bk.Sources {
+					sum[s] += votes[i][b]
+				}
+			}
+		}
+		next := make([]float64, n)
+		for s := 0; s < n; s++ {
+			if c := p.ClaimsPerSource[s]; c > 0 {
+				next[s] = math.Log(float64(c)+1) * sum[s] / float64(c)
+			}
+		}
+		normalizeMax(next)
+		delta := maxDelta(trust, next)
+		trust = next
+		if delta < opts.Epsilon || round >= opts.MaxRounds {
+			res.Converged = delta < opts.Epsilon
+			break
+		}
+	}
+	res.Trust = trust
+	res.Chosen = choose(p, votes)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// investExponent is the non-linear vote growth of INVEST/POOLEDINVEST
+// (Pasternack and Roth use g = 1.2).
+const investExponent = 1.2
+
+// Invest has each source invest its trust uniformly across its claims; a
+// value's vote grows as the invested sum to the power 1.2, and the vote is
+// paid back to each investor in proportion to its contribution.
+type Invest struct{ identityScale }
+
+// Name implements Method.
+func (Invest) Name() string { return "Invest" }
+
+// Needs implements Method.
+func (Invest) Needs() BuildOptions { return BuildOptions{} }
+
+// Run implements Method.
+func (Invest) Run(p *Problem, opts Options) *Result {
+	return runInvest(p, opts, false)
+}
+
+// PooledInvest rescales each item's votes so they sum to the item's total
+// investment, which removes the need for normalisation.
+type PooledInvest struct{ identityScale }
+
+// Name implements Method.
+func (PooledInvest) Name() string { return "PooledInvest" }
+
+// Needs implements Method.
+func (PooledInvest) Needs() BuildOptions { return BuildOptions{} }
+
+// Run implements Method.
+func (PooledInvest) Run(p *Problem, opts Options) *Result {
+	return runInvest(p, opts, true)
+}
+
+func runInvest(p *Problem, opts Options, pooled bool) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := len(p.SourceIDs)
+	trust := initTrust(n, opts.startTrust(), 1)
+	votes := newVoteSpace(p)
+	invested := make([][]float64, len(p.Items)) // per item per bucket
+	for i := range p.Items {
+		invested[i] = make([]float64, len(p.Items[i].Buckets))
+	}
+
+	name := "Invest"
+	if pooled {
+		name = "PooledInvest"
+	}
+	res := &Result{Method: name}
+	for round := 1; ; round++ {
+		res.Rounds = round
+		for i := range p.Items {
+			it := &p.Items[i]
+			var pool float64
+			for b, bk := range it.Buckets {
+				var inv float64
+				for _, s := range bk.Sources {
+					if c := p.ClaimsPerSource[s]; c > 0 {
+						inv += trust[s] / float64(c)
+					}
+				}
+				invested[i][b] = inv
+				votes[i][b] = math.Pow(inv, investExponent)
+				pool += inv
+			}
+			if pooled {
+				var sum float64
+				for b := range it.Buckets {
+					sum += votes[i][b]
+				}
+				if sum > 0 {
+					for b := range it.Buckets {
+						votes[i][b] *= pool / sum
+					}
+				}
+			}
+		}
+		if opts.InputTrust != nil {
+			res.Converged = true
+			break
+		}
+		next := make([]float64, n)
+		for i := range p.Items {
+			for b, bk := range p.Items[i].Buckets {
+				if invested[i][b] <= 0 {
+					continue
+				}
+				for _, s := range bk.Sources {
+					if c := p.ClaimsPerSource[s]; c > 0 {
+						share := (trust[s] / float64(c)) / invested[i][b]
+						next[s] += votes[i][b] * share
+					}
+				}
+			}
+		}
+		if !pooled {
+			normalizeMax(next)
+		}
+		delta := maxDelta(trust, next)
+		trust = next
+		if delta < opts.Epsilon || round >= opts.MaxRounds {
+			res.Converged = delta < opts.Epsilon
+			break
+		}
+	}
+	res.Trust = trust
+	res.Chosen = choose(p, votes)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// initTrust returns the starting trust vector: the supplied input trust
+// when given, otherwise the uniform default.
+func initTrust(n int, input []float64, def float64) []float64 {
+	t := make([]float64, n)
+	if input != nil {
+		copy(t, input)
+		return t
+	}
+	for i := range t {
+		t[i] = def
+	}
+	return t
+}
+
+// newVoteSpace allocates the per-item per-bucket vote storage.
+func newVoteSpace(p *Problem) [][]float64 {
+	v := make([][]float64, len(p.Items))
+	for i := range p.Items {
+		v[i] = make([]float64, len(p.Items[i].Buckets))
+	}
+	return v
+}
+
+// choose picks the winning bucket of every item.
+func choose(p *Problem, votes [][]float64) []int32 {
+	chosen := make([]int32, len(p.Items))
+	for i := range p.Items {
+		chosen[i] = argmax32(votes[i])
+	}
+	return chosen
+}

@@ -1,0 +1,127 @@
+package model
+
+import (
+	"sort"
+
+	"truthdiscovery/internal/value"
+)
+
+// Snapshot holds every claim collected on one day, sorted by (item, source)
+// with a per-item index for contiguous access. The paper analyses individual
+// snapshots (e.g. 2011-07-07 for Stock, 2011-12-08 for Flight) and trends
+// across a month of snapshots.
+type Snapshot struct {
+	Day    int    // 0-based day index within the collection period
+	Label  string // e.g. "2011-07-07"
+	Claims []Claim
+
+	itemOffsets []int32 // itemOffsets[i]..itemOffsets[i+1] is item i's claim range
+	numItems    int
+}
+
+// NewSnapshot builds a snapshot from unsorted claims. numItems must be the
+// dataset's item-table size; the claim slice is retained and sorted in place.
+func NewSnapshot(day int, label string, numItems int, claims []Claim) *Snapshot {
+	sort.Slice(claims, func(a, b int) bool {
+		if claims[a].Item != claims[b].Item {
+			return claims[a].Item < claims[b].Item
+		}
+		return claims[a].Source < claims[b].Source
+	})
+	s := &Snapshot{Day: day, Label: label, Claims: claims, numItems: numItems}
+	s.buildIndex()
+	return s
+}
+
+func (s *Snapshot) buildIndex() {
+	s.itemOffsets = make([]int32, s.numItems+1)
+	// Counting pass.
+	for i := range s.Claims {
+		s.itemOffsets[s.Claims[i].Item+1]++
+	}
+	for i := 1; i <= s.numItems; i++ {
+		s.itemOffsets[i] += s.itemOffsets[i-1]
+	}
+}
+
+// NumItems returns the size of the item table this snapshot is indexed for.
+func (s *Snapshot) NumItems() int { return s.numItems }
+
+// ItemClaims returns the claims on one item as a shared sub-slice
+// (callers must not modify it).
+func (s *Snapshot) ItemClaims(item ItemID) []Claim {
+	return s.Claims[s.itemOffsets[item]:s.itemOffsets[item+1]]
+}
+
+// ProviderCount returns the number of sources providing the item.
+func (s *Snapshot) ProviderCount(item ItemID) int {
+	return int(s.itemOffsets[item+1] - s.itemOffsets[item])
+}
+
+// SourceClaimCounts returns, per source, the number of claims it contributes.
+func (s *Snapshot) SourceClaimCounts(numSources int) []int {
+	counts := make([]int, numSources)
+	for i := range s.Claims {
+		counts[s.Claims[i].Source]++
+	}
+	return counts
+}
+
+// SourceObjectCounts returns, per source, the number of distinct objects it
+// covers in this snapshot.
+func (s *Snapshot) SourceObjectCounts(d *Dataset) []int {
+	counts := make([]int, len(d.Sources))
+	seen := make(map[[2]int32]struct{}, len(s.Claims))
+	for i := range s.Claims {
+		c := &s.Claims[i]
+		key := [2]int32{int32(c.Source), int32(d.Items[c.Item].Object)}
+		if _, dup := seen[key]; !dup {
+			seen[key] = struct{}{}
+			counts[c.Source]++
+		}
+	}
+	return counts
+}
+
+// BucketedItem is the tolerance-bucketed view of one item's claims: the
+// shared claim sub-slice plus value buckets whose Members index into it.
+// Buckets are ordered by descending provider count (Buckets[0] is dominant).
+type BucketedItem struct {
+	Item    ItemID
+	Claims  []Claim
+	Buckets []value.Bucket
+}
+
+// Providers returns the source IDs backing bucket b.
+func (bi *BucketedItem) Providers(b int) []SourceID {
+	out := make([]SourceID, len(bi.Buckets[b].Members))
+	for i, m := range bi.Buckets[b].Members {
+		out[i] = bi.Claims[m].Source
+	}
+	return out
+}
+
+// Bucketize produces the bucketed view of every item that has at least one
+// claim in the snapshot, in item order, using the dataset's per-attribute
+// tolerances.
+func (s *Snapshot) Bucketize(d *Dataset) []BucketedItem {
+	out := make([]BucketedItem, 0, s.numItems)
+	vals := make([]value.Value, 0, 64)
+	for item := 0; item < s.numItems; item++ {
+		claims := s.ItemClaims(ItemID(item))
+		if len(claims) == 0 {
+			continue
+		}
+		vals = vals[:0]
+		for i := range claims {
+			vals = append(vals, claims[i].Val)
+		}
+		tol := d.Tolerance(d.Items[item].Attr)
+		out = append(out, BucketedItem{
+			Item:    ItemID(item),
+			Claims:  claims,
+			Buckets: value.Bucketize(vals, tol),
+		})
+	}
+	return out
+}

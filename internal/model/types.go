@@ -1,0 +1,125 @@
+// Package model defines the data model of the paper's Section 2.1: Deep Web
+// sources in a domain provide values for data items, where a data item is a
+// (real-world object, attribute) pair and each item has a single true value.
+//
+// The package also provides the containers the rest of the system is built
+// on: snapshots (all claims collected on one day), datasets (a domain's
+// sources, objects, attributes and snapshots), and truth tables (gold
+// standards and generator ground truth).
+package model
+
+import (
+	"fmt"
+
+	"truthdiscovery/internal/value"
+)
+
+// SourceID identifies a source within a Dataset.
+type SourceID int32
+
+// ObjectID identifies a real-world object within a Dataset.
+type ObjectID int32
+
+// AttrID identifies a global attribute within a Dataset.
+type AttrID int32
+
+// ItemID identifies a data item (object x attribute) within a Dataset.
+type ItemID int32
+
+// NoSource is the sentinel for "no source" (e.g. a claim that was not copied).
+const NoSource SourceID = -1
+
+// Attribute is a global attribute of the domain's objects (after the manual
+// schema matching the paper performs). Only Considered attributes receive
+// values in claims; tail attributes exist to reproduce the paper's schema
+// statistics (Table 1, Figure 1).
+type Attribute struct {
+	ID         AttrID
+	Name       string
+	Kind       value.Kind
+	Considered bool // one of the examined attributes (16 Stock / 6 Flight)
+	RealTime   bool // real-time vs statistical value (Stock discussion)
+}
+
+// Source is one Deep Web source.
+type Source struct {
+	ID        SourceID
+	Name      string
+	Authority bool // used to build the gold standard
+	// Schema is the set of global attributes this source provides, including
+	// tail attributes that carry no values; it reproduces the paper's
+	// attribute-coverage statistics.
+	Schema []AttrID
+	// LocalAttrs is the number of source-local attribute names that map onto
+	// Schema (schema-level heterogeneity, Table 1's "Local attrs").
+	LocalAttrs int
+}
+
+// Object is one real-world entity (a stock on a day series, a flight).
+type Object struct {
+	ID  ObjectID
+	Key string // e.g. "AAPL", "AA119@JFK"
+	// Group is a domain-specific partition: the operating airline for
+	// flights ("AA", "UA", "CO"), the index membership for stocks.
+	Group string
+}
+
+// Item is a data item: a particular attribute of a particular object.
+type Item struct {
+	ID     ItemID
+	Object ObjectID
+	Attr   AttrID
+}
+
+// Cause labels why a claim's value deviates from the ground truth. The
+// generator labels every injected deviation; the profiler aggregates the
+// labels to reproduce the paper's Figure 6 (reasons for inconsistency).
+type Cause uint8
+
+// The deviation causes of the paper's Section 3.2. CauseFormat is an extra
+// generator-side label for values pushed outside tolerance purely by coarse
+// formatting ("6.7M" for 6,651,200); the paper's manual study folds such
+// representation differences into its ambiguity category, and the Figure 6
+// reproduction does the same.
+const (
+	CauseNone     Cause = iota // value is correct (within tolerance)
+	CauseSemantic              // semantics ambiguity (e.g. quarterly vs annual dividend)
+	CauseInstance              // instance ambiguity (terminated symbol mapped elsewhere)
+	CauseStale                 // out-of-date data
+	CauseUnit                  // unit error (76M reported as 76B)
+	CauseError                 // pure error
+	CauseFormat                // coarse formatting moved the value out of tolerance
+)
+
+// String returns the paper's name for the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseSemantic:
+		return "semantics ambiguity"
+	case CauseInstance:
+		return "instance ambiguity"
+	case CauseStale:
+		return "out-of-date"
+	case CauseUnit:
+		return "unit error"
+	case CauseError:
+		return "pure error"
+	case CauseFormat:
+		return "formatting"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+// Claim is one (source, data item, value) observation from one snapshot.
+// Cause and CopiedFrom are generator-side labels used only for evaluation
+// and error analysis; fusion methods never read them.
+type Claim struct {
+	Source     SourceID
+	Item       ItemID
+	Val        value.Value
+	Cause      Cause
+	CopiedFrom SourceID // NoSource if the claim was produced independently
+}

@@ -1,0 +1,50 @@
+package quality
+
+import (
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/stats"
+)
+
+// AccuracySeries is the Section 3.3 / Figure 8 material: per-source accuracy
+// per day against a (per-day) gold standard, its mean and standard
+// deviation, and the precision of dominant values per day.
+type AccuracySeries struct {
+	// PerDay[d][s] is source s's accuracy on day d (0 when the source has
+	// no claims on gold items that day).
+	PerDay [][]float64
+	// Mean[s] and StdDev[s] aggregate each source over the period.
+	Mean   []float64
+	StdDev []float64
+	// DominantPrecision[d] is the VOTE precision on day d (Figure 8c).
+	DominantPrecision []float64
+}
+
+// AccuracyOverTime computes the Figure 8 series. snaps and golds must be
+// parallel (one gold standard per snapshot, constructed per the domain's
+// protocol). The sources slice restricts the dominant-value computation
+// (nil = all sources).
+func AccuracyOverTime(ds *model.Dataset, snaps []*model.Snapshot,
+	golds []*model.TruthTable, sources []model.SourceID) AccuracySeries {
+
+	n := len(ds.Sources)
+	out := AccuracySeries{
+		PerDay:            make([][]float64, len(snaps)),
+		Mean:              make([]float64, n),
+		StdDev:            make([]float64, n),
+		DominantPrecision: make([]float64, len(snaps)),
+	}
+	for d, snap := range snaps {
+		acc, _ := golds[d].SourceAccuracy(ds, snap)
+		out.PerDay[d] = acc
+		out.DominantPrecision[d] = Dominance(ds, snap, golds[d], sources).VotePrecision
+	}
+	series := make([]float64, len(snaps))
+	for s := 0; s < n; s++ {
+		for d := range snaps {
+			series[d] = out.PerDay[d][s]
+		}
+		out.Mean[s] = stats.Mean(series)
+		out.StdDev[s] = stats.StdDev(series)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Package quality implements the paper's Section 3 data-quality study: data
+// redundancy (Figures 2-3), attribute coverage (Figure 1), value consistency
+// (Table 3, Figure 4), reasons for inconsistency (Figure 6), dominant values
+// (Figure 7), source accuracy over time (Figure 8, Table 4), and potential
+// copying (Table 5).
+package quality
+
+import (
+	"math"
+	"sort"
+
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/stats"
+	"truthdiscovery/internal/value"
+)
+
+// ItemConsistency holds the Section 3.2 measures for one data item.
+type ItemConsistency struct {
+	Item      model.ItemID
+	Attr      model.AttrID
+	Providers int
+	// NumValues is |V(d)| after tolerance bucketing.
+	NumValues int
+	// Entropy is Eq. 1 over the bucket provider counts.
+	Entropy float64
+	// Deviation is Eq. 2: relative RMS deviation for numbers, absolute RMS
+	// minutes for times; NaN for text items and single-value items.
+	Deviation float64
+	// Dominance is |S(d,v0)|/|S(d)|.
+	Dominance float64
+	// DominantRep is the representative value of the dominant bucket.
+	DominantRep value.Value
+}
+
+// ConsistencyOptions filters the analysis.
+type ConsistencyOptions struct {
+	// ExcludeSources removes the claims of these sources before analysis
+	// (Table 3 reports numbers with and without StockSmart).
+	ExcludeSources map[model.SourceID]bool
+	// Sources restricts analysis to this set when non-nil.
+	Sources map[model.SourceID]bool
+}
+
+// Consistency computes the per-item Section 3.2 measures on one snapshot.
+// Items with no claims (after filtering) are omitted.
+func Consistency(ds *model.Dataset, snap *model.Snapshot, opts ConsistencyOptions) []ItemConsistency {
+	out := make([]ItemConsistency, 0, snap.NumItems())
+	var vals []value.Value
+	for id := 0; id < snap.NumItems(); id++ {
+		item := model.ItemID(id)
+		claims := snap.ItemClaims(item)
+		if len(claims) == 0 {
+			continue
+		}
+		vals = vals[:0]
+		for i := range claims {
+			if opts.ExcludeSources != nil && opts.ExcludeSources[claims[i].Source] {
+				continue
+			}
+			if opts.Sources != nil && !opts.Sources[claims[i].Source] {
+				continue
+			}
+			vals = append(vals, claims[i].Val)
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		attr := ds.Items[item].Attr
+		tol := ds.Tolerance(attr)
+		buckets := value.Bucketize(vals, tol)
+		counts := make([]int, len(buckets))
+		for i, b := range buckets {
+			counts[i] = len(b.Members)
+		}
+		ic := ItemConsistency{
+			Item:        item,
+			Attr:        attr,
+			Providers:   len(vals),
+			NumValues:   len(buckets),
+			Entropy:     stats.Entropy(counts),
+			Dominance:   stats.DominanceFactor(counts[0], len(vals)),
+			DominantRep: buckets[0].Rep,
+			Deviation:   math.NaN(),
+		}
+		if len(buckets) > 1 {
+			kind := ds.Attrs[attr].Kind
+			if kind != value.Text {
+				reps := make([]float64, len(buckets))
+				for i, b := range buckets {
+					reps[i] = b.Rep.Num
+				}
+				if kind == value.Number {
+					ic.Deviation = stats.RelativeDeviation(reps, buckets[0].Rep.Num)
+				} else {
+					ic.Deviation = stats.AbsoluteDeviation(reps, buckets[0].Rep.Num)
+				}
+			}
+		}
+		out = append(out, ic)
+	}
+	return out
+}
+
+// AttrConsistency aggregates ItemConsistency per attribute (Table 3).
+type AttrConsistency struct {
+	Attr model.AttrID
+	Name string
+	// Items is the number of items analysed for the attribute.
+	Items int
+	// MeanNumValues, MeanEntropy average over all items of the attribute.
+	MeanNumValues float64
+	MeanEntropy   float64
+	// MeanDeviation averages Eq. 2 over the conflicted items only (the
+	// paper computes deviation "for data items with conflicting values").
+	MeanDeviation float64
+	// ConflictedItems is the count of items with more than one value.
+	ConflictedItems int
+}
+
+// ByAttribute aggregates per-item consistency into per-attribute rows,
+// ordered by attribute ID. Only considered attributes appear.
+func ByAttribute(ds *model.Dataset, items []ItemConsistency) []AttrConsistency {
+	agg := make(map[model.AttrID]*AttrConsistency)
+	for _, ic := range items {
+		a := agg[ic.Attr]
+		if a == nil {
+			a = &AttrConsistency{Attr: ic.Attr, Name: ds.Attrs[ic.Attr].Name}
+			agg[ic.Attr] = a
+		}
+		a.Items++
+		a.MeanNumValues += float64(ic.NumValues)
+		a.MeanEntropy += ic.Entropy
+		if ic.NumValues > 1 {
+			a.ConflictedItems++
+			if !math.IsNaN(ic.Deviation) {
+				a.MeanDeviation += ic.Deviation
+			}
+		}
+	}
+	out := make([]AttrConsistency, 0, len(agg))
+	for _, a := range agg {
+		if a.Items > 0 {
+			a.MeanNumValues /= float64(a.Items)
+			a.MeanEntropy /= float64(a.Items)
+		}
+		if a.ConflictedItems > 0 {
+			a.MeanDeviation /= float64(a.ConflictedItems)
+		}
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}
+
+// Summary holds collection-wide consistency aggregates (the "Summary and
+// comparison" paragraphs of Section 3.2).
+type Summary struct {
+	Items            int
+	MeanNumValues    float64
+	MeanEntropy      float64
+	MeanDeviation    float64 // over conflicted numeric/time items
+	SingleValueShare float64 // fraction of items with exactly one value
+	TwoValueShare    float64
+	ThreePlusShare   float64 // more than two values
+}
+
+// Summarize aggregates per-item consistency across the collection.
+func Summarize(items []ItemConsistency) Summary {
+	var s Summary
+	s.Items = len(items)
+	if s.Items == 0 {
+		return s
+	}
+	conflictedWithDev := 0
+	for _, ic := range items {
+		s.MeanNumValues += float64(ic.NumValues)
+		s.MeanEntropy += ic.Entropy
+		switch {
+		case ic.NumValues == 1:
+			s.SingleValueShare++
+		case ic.NumValues == 2:
+			s.TwoValueShare++
+		default:
+			s.ThreePlusShare++
+		}
+		if ic.NumValues > 1 && !math.IsNaN(ic.Deviation) {
+			s.MeanDeviation += ic.Deviation
+			conflictedWithDev++
+		}
+	}
+	n := float64(s.Items)
+	s.MeanNumValues /= n
+	s.MeanEntropy /= n
+	s.SingleValueShare /= n
+	s.TwoValueShare /= n
+	s.ThreePlusShare /= n
+	if conflictedWithDev > 0 {
+		s.MeanDeviation /= float64(conflictedWithDev)
+	}
+	return s
+}

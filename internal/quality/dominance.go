@@ -1,0 +1,101 @@
+package quality
+
+import (
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// DominanceBin is one dominance-factor bucket of Figure 7: how many items
+// fall in the bucket and how precise their dominant values are against the
+// gold standard.
+type DominanceBin struct {
+	// Low/High bound the dominance factor: Low < f <= High.
+	Low, High float64
+	// Items is the number of gold items in the bin; Share its fraction of
+	// all items (gold or not) for the Figure 7(a) distribution.
+	Items int
+	Share float64
+	// Precision is the fraction of the bin's gold items whose dominant
+	// value agrees with gold (Figure 7(b)).
+	Precision float64
+}
+
+// DominanceReport captures Figure 7 plus the VOTE headline number.
+type DominanceReport struct {
+	Bins []DominanceBin
+	// VotePrecision is the precision of dominant values over all gold
+	// items — the paper's "precision of dominant values" (0.908 / 0.864).
+	VotePrecision float64
+	// GoldItems is the number of gold items with at least one claim.
+	GoldItems int
+}
+
+// Dominance computes the Figure 7 report on one snapshot. The items
+// considered for precision are those present in the gold standard; the
+// distribution uses every item with claims from the given source set
+// (nil = all sources).
+func Dominance(ds *model.Dataset, snap *model.Snapshot, gold *model.TruthTable,
+	sources []model.SourceID) DominanceReport {
+
+	opts := ConsistencyOptions{}
+	if sources != nil {
+		opts.Sources = make(map[model.SourceID]bool, len(sources))
+		for _, s := range sources {
+			opts.Sources[s] = true
+		}
+	}
+	items := Consistency(ds, snap, opts)
+
+	const nbins = 10
+	bins := make([]DominanceBin, nbins)
+	goldInBin := make([]int, nbins)
+	rightInBin := make([]int, nbins)
+	for i := range bins {
+		bins[i].Low = float64(i) / nbins
+		bins[i].High = float64(i+1) / nbins
+	}
+	binOf := func(f float64) int {
+		b := int(f * nbins)
+		if f > 0 && f == float64(b)/nbins {
+			b-- // left-open bins: f exactly on a boundary goes below
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+
+	total := 0
+	goldTotal, goldRight := 0, 0
+	for _, ic := range items {
+		b := binOf(ic.Dominance)
+		bins[b].Items++
+		total++
+		truth, ok := gold.Get(ic.Item)
+		if !ok {
+			continue
+		}
+		goldInBin[b]++
+		goldTotal++
+		if value.Equal(truth, ic.DominantRep, ds.Tolerance(ic.Attr)) {
+			rightInBin[b]++
+			goldRight++
+		}
+	}
+	for i := range bins {
+		if total > 0 {
+			bins[i].Share = float64(bins[i].Items) / float64(total)
+		}
+		if goldInBin[i] > 0 {
+			bins[i].Precision = float64(rightInBin[i]) / float64(goldInBin[i])
+		}
+	}
+	r := DominanceReport{Bins: bins, GoldItems: goldTotal}
+	if goldTotal > 0 {
+		r.VotePrecision = float64(goldRight) / float64(goldTotal)
+	}
+	return r
+}

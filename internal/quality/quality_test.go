@@ -1,0 +1,235 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// fixture: 3 sources, 2 objects, 2 attributes; one consistent item, one
+// conflicted item, one single-provider item.
+func fixture(t *testing.T) (*model.Dataset, *model.Snapshot) {
+	t.Helper()
+	ds := model.NewDataset("q")
+	price := ds.AddAttr(model.Attribute{Name: "price", Kind: value.Number, Considered: true})
+	gate := ds.AddAttr(model.Attribute{Name: "gate", Kind: value.Text, Considered: true})
+	s1 := ds.AddSource(model.Source{Name: "s1", Schema: []model.AttrID{price, gate}})
+	s2 := ds.AddSource(model.Source{Name: "s2", Schema: []model.AttrID{price}})
+	s3 := ds.AddSource(model.Source{Name: "s3", Schema: []model.AttrID{price}})
+	o1 := ds.AddObject(model.Object{Key: "X"})
+	o2 := ds.AddObject(model.Object{Key: "Y"})
+	claims := []model.Claim{
+		// Item X/price: all agree.
+		{Source: s1, Item: ds.ItemFor(o1, price), Val: value.Num(100), Cause: model.CauseNone},
+		{Source: s2, Item: ds.ItemFor(o1, price), Val: value.Num(100), Cause: model.CauseNone},
+		{Source: s3, Item: ds.ItemFor(o1, price), Val: value.Num(100), Cause: model.CauseNone},
+		// Item Y/price: 2-1 conflict, minority stale.
+		{Source: s1, Item: ds.ItemFor(o2, price), Val: value.Num(200), Cause: model.CauseNone},
+		{Source: s2, Item: ds.ItemFor(o2, price), Val: value.Num(200), Cause: model.CauseNone},
+		{Source: s3, Item: ds.ItemFor(o2, price), Val: value.Num(260), Cause: model.CauseStale},
+		// Item X/gate: single provider.
+		{Source: s1, Item: ds.ItemFor(o1, gate), Val: value.Str("B2"), Cause: model.CauseNone},
+	}
+	snap := model.NewSnapshot(0, "d", len(ds.Items), claims)
+	ds.AddSnapshot(snap)
+	ds.ComputeTolerances(0.01, snap)
+	return ds, snap
+}
+
+func TestConsistency(t *testing.T) {
+	ds, snap := fixture(t)
+	items := Consistency(ds, snap, ConsistencyOptions{})
+	if len(items) != 3 {
+		t.Fatalf("items analysed = %d, want 3", len(items))
+	}
+	byItem := map[model.ItemID]ItemConsistency{}
+	for _, ic := range items {
+		byItem[ic.Item] = ic
+	}
+	x, _ := ds.LookupItem(0, 0)
+	if ic := byItem[x]; ic.NumValues != 1 || ic.Entropy != 0 || ic.Dominance != 1 {
+		t.Errorf("consistent item = %+v", ic)
+	}
+	y, _ := ds.LookupItem(1, 0)
+	ic := byItem[y]
+	if ic.NumValues != 2 || ic.Dominance != 2.0/3 {
+		t.Errorf("conflicted item = %+v", ic)
+	}
+	wantDev := math.Sqrt((0 + math.Pow(60.0/200, 2)) / 2)
+	if math.Abs(ic.Deviation-wantDev) > 1e-9 {
+		t.Errorf("deviation = %v, want %v", ic.Deviation, wantDev)
+	}
+	// Excluding the dissenting source removes the conflict.
+	items2 := Consistency(ds, snap, ConsistencyOptions{
+		ExcludeSources: map[model.SourceID]bool{2: true},
+	})
+	for _, ic := range items2 {
+		if ic.Item == y && ic.NumValues != 1 {
+			t.Errorf("exclusion did not apply: %+v", ic)
+		}
+	}
+	// Restricting to one source keeps singleton items only.
+	items3 := Consistency(ds, snap, ConsistencyOptions{
+		Sources: map[model.SourceID]bool{0: true},
+	})
+	for _, ic := range items3 {
+		if ic.Providers != 1 {
+			t.Errorf("restriction failed: %+v", ic)
+		}
+	}
+}
+
+func TestByAttributeAndSummarize(t *testing.T) {
+	ds, snap := fixture(t)
+	items := Consistency(ds, snap, ConsistencyOptions{})
+	attrs := ByAttribute(ds, items)
+	if len(attrs) != 2 {
+		t.Fatalf("attr rows = %d", len(attrs))
+	}
+	if attrs[0].Name != "price" || attrs[0].Items != 2 {
+		t.Errorf("price row = %+v", attrs[0])
+	}
+	if attrs[0].ConflictedItems != 1 {
+		t.Errorf("price conflicted = %d", attrs[0].ConflictedItems)
+	}
+	sum := Summarize(items)
+	if sum.Items != 3 || math.Abs(sum.SingleValueShare-2.0/3) > 1e-9 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if Summarize(nil).Items != 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestRedundancy(t *testing.T) {
+	ds, snap := fixture(t)
+	r := Redundancy(ds, snap, nil)
+	x, _ := ds.LookupItem(0, 0)
+	if r.ItemRedundancy[x] != 1.0 {
+		t.Errorf("item X redundancy = %v", r.ItemRedundancy[x])
+	}
+	if r.ObjectRedundancy[0] != 1.0 || r.ObjectRedundancy[1] != 1.0 {
+		t.Errorf("object redundancy = %v", r.ObjectRedundancy)
+	}
+	// The item universe has 3 allocated items (o2/gate was never claimed),
+	// and s1 provides all of them.
+	if r.SourceObjectCoverage[0] != 1.0 || r.SourceItemCoverage[0] != 1.0 {
+		t.Errorf("source coverage = %v / %v", r.SourceObjectCoverage[0], r.SourceItemCoverage[0])
+	}
+	if r.SourceItemCoverage[1] != 2.0/3 {
+		t.Errorf("s2 item coverage = %v, want 2/3", r.SourceItemCoverage[1])
+	}
+	// Restricted source set.
+	r2 := Redundancy(ds, snap, []model.SourceID{0})
+	if r2.ItemRedundancy[x] != 1.0 {
+		t.Errorf("restricted redundancy = %v", r2.ItemRedundancy[x])
+	}
+	if r2.SourceItemCoverage[1] != 0 {
+		t.Error("excluded source should have zero coverage")
+	}
+}
+
+func TestAttributeCoverage(t *testing.T) {
+	ds, _ := fixture(t)
+	counts := AttributeProviderCounts(ds)
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Errorf("provider counts = %v", counts)
+	}
+	curve := AttributeCoverageCurve(ds, []int{0, 1, 2})
+	if curve[0] != 1.0 { // both attrs have > 0 sources
+		t.Errorf("curve[0] = %v", curve[0])
+	}
+	if curve[1] != 0.5 { // only price has > 1
+		t.Errorf("curve[1] = %v", curve[1])
+	}
+}
+
+func TestDominanceReport(t *testing.T) {
+	ds, snap := fixture(t)
+	gld := model.NewTruthTable()
+	x, _ := ds.LookupItem(0, 0)
+	y, _ := ds.LookupItem(1, 0)
+	gld.Set(x, value.Num(100))
+	gld.Set(y, value.Num(260)) // the minority value is gold: VOTE errs
+	rep := Dominance(ds, snap, gld, nil)
+	if rep.GoldItems != 2 {
+		t.Fatalf("gold items = %d", rep.GoldItems)
+	}
+	if rep.VotePrecision != 0.5 {
+		t.Errorf("VOTE precision = %v, want .5", rep.VotePrecision)
+	}
+	var share float64
+	for _, b := range rep.Bins {
+		share += b.Share
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("bin shares sum to %v", share)
+	}
+}
+
+func TestReasons(t *testing.T) {
+	ds, snap := fixture(t)
+	shares := Reasons(ds, snap)
+	if shares[model.CauseStale] != 1.0 {
+		t.Errorf("reasons = %v, want all stale", shares)
+	}
+	// Empty snapshot.
+	empty := model.NewSnapshot(0, "e", len(ds.Items), nil)
+	if len(Reasons(ds, empty)) != 0 {
+		t.Error("empty snapshot should have no reasons")
+	}
+}
+
+func TestCopyingStats(t *testing.T) {
+	ds, snap := fixture(t)
+	acc := []float64{0.9, 0.8, 0.4}
+	groups := []Group{{Remark: "test", Members: []model.SourceID{0, 1}}}
+	stats := CopyingStats(ds, snap, groups, acc)
+	if len(stats) != 1 {
+		t.Fatalf("group stats = %d", len(stats))
+	}
+	gs := stats[0]
+	if gs.Size != 2 || gs.Remark != "test" {
+		t.Errorf("group = %+v", gs)
+	}
+	// s1 provides price+gate, s2 price only: Jaccard 1/2.
+	if gs.SchemaSim != 0.5 {
+		t.Errorf("schema sim = %v", gs.SchemaSim)
+	}
+	if gs.ObjectSim != 1.0 {
+		t.Errorf("object sim = %v", gs.ObjectSim)
+	}
+	if gs.ValueSim != 1.0 { // they agree on both shared items
+		t.Errorf("value sim = %v", gs.ValueSim)
+	}
+	if math.Abs(gs.AvgAccuracy-0.85) > 1e-9 {
+		t.Errorf("avg accuracy = %v", gs.AvgAccuracy)
+	}
+}
+
+func TestAccuracyOverTime(t *testing.T) {
+	ds, snap := fixture(t)
+	gld := model.NewTruthTable()
+	x, _ := ds.LookupItem(0, 0)
+	y, _ := ds.LookupItem(1, 0)
+	gld.Set(x, value.Num(100))
+	gld.Set(y, value.Num(200))
+	series := AccuracyOverTime(ds, []*model.Snapshot{snap, snap}, []*model.TruthTable{gld, gld}, nil)
+	if len(series.PerDay) != 2 {
+		t.Fatalf("days = %d", len(series.PerDay))
+	}
+	if series.Mean[0] != 1.0 {
+		t.Errorf("s1 mean accuracy = %v", series.Mean[0])
+	}
+	if series.Mean[2] != 0.5 {
+		t.Errorf("s3 mean accuracy = %v", series.Mean[2])
+	}
+	if series.StdDev[0] != 0 {
+		t.Errorf("constant series stddev = %v", series.StdDev[0])
+	}
+	if series.DominantPrecision[0] != 1.0 {
+		t.Errorf("dominant precision = %v", series.DominantPrecision[0])
+	}
+}

@@ -1,0 +1,75 @@
+package quality
+
+import (
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// ReasonShares maps a deviation cause to its share of conflicted items
+// (Figure 6). Shares sum to 1 over conflicted items with a determinable
+// cause.
+type ReasonShares map[model.Cause]float64
+
+// Reasons classifies every conflicted item of a snapshot by the dominant
+// cause of its minority values, using the generator's exhaustive cause
+// labels (the paper hand-labelled a 25-item sample per domain; we label the
+// full population).
+//
+// Claims pushed out of tolerance purely by coarse formatting are counted as
+// semantics ambiguity, matching how the paper's manual study treats
+// representation semantics.
+func Reasons(ds *model.Dataset, snap *model.Snapshot) ReasonShares {
+	counts := make(map[model.Cause]int)
+	totalConflicted := 0
+	var vals []value.Value
+	for id := 0; id < snap.NumItems(); id++ {
+		claims := snap.ItemClaims(model.ItemID(id))
+		if len(claims) < 2 {
+			continue
+		}
+		vals = vals[:0]
+		for i := range claims {
+			vals = append(vals, claims[i].Val)
+		}
+		attr := ds.Items[id].Attr
+		buckets := value.Bucketize(vals, ds.Tolerance(attr))
+		if len(buckets) < 2 {
+			continue
+		}
+		totalConflicted++
+		// Tally the labelled causes of every deviant claim on the item
+		// (whether in the dominant bucket or not — on "flipped" items the
+		// dominant bucket itself carries the deviation); the most common
+		// non-None cause is the item's reason. Items where every claim is
+		// within label tolerance of the world truth conflict only through
+		// representation spread and count as pure error.
+		perCause := make(map[model.Cause]int)
+		for i := range claims {
+			c := claims[i].Cause
+			if c == model.CauseFormat {
+				c = model.CauseSemantic
+			}
+			if c != model.CauseNone {
+				perCause[c]++
+			}
+		}
+		best, bestN := model.CauseError, 0
+		for _, c := range []model.Cause{
+			model.CauseSemantic, model.CauseInstance, model.CauseStale,
+			model.CauseUnit, model.CauseError,
+		} {
+			if perCause[c] > bestN {
+				best, bestN = c, perCause[c]
+			}
+		}
+		counts[best]++
+	}
+	shares := make(ReasonShares, len(counts))
+	if totalConflicted == 0 {
+		return shares
+	}
+	for c, n := range counts {
+		shares[c] = float64(n) / float64(totalConflicted)
+	}
+	return shares
+}

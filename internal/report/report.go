@@ -1,0 +1,121 @@
+// Package report renders experiment results as aligned text tables, the
+// form in which cmd/truthbench regenerates the paper's tables and figures
+// (figures become series tables: one row per x position).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row of cells (stringified with %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = F3(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "-- %s --\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			for i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, " ", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	if len(t.Header) > 0 {
+		line(t.Header)
+		sep := make([]string, len(t.Header))
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		line(sep)
+	}
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Report is a full experiment result: tables plus free-form notes.
+type Report struct {
+	ID     string
+	Title  string
+	Notes  []string
+	Tables []*Table
+}
+
+// Note appends a formatted note line.
+func (r *Report) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// NewTable appends and returns a fresh table.
+func (r *Report) NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title, Header: header}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// Render writes the whole report.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "   %s\n", n)
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintln(w)
+		t.Render(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// F3 formats with three decimals, the paper's usual precision.
+func F3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// F2 formats with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Pct formats a fraction as a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"name", "value"}}
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", "xyz")
+	tab.AddRow(42, 7)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "name", "alpha", "1.500", "xyz", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := &Report{ID: "t1", Title: "hello"}
+	r.Note("note %d", 7)
+	tab := r.NewTable("inner", "a")
+	tab.AddRow("x")
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"t1", "hello", "note 7", "inner", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F3(1.23456) != "1.235" {
+		t.Errorf("F3 = %s", F3(1.23456))
+	}
+	if F2(1.236) != "1.24" {
+		t.Errorf("F2 = %s", F2(1.236))
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %s", Pct(0.123))
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	tab.AddRow("x", "extra", "cells")
+	var sb strings.Builder
+	tab.Render(&sb) // must not panic
+	if !strings.Contains(sb.String(), "extra") {
+		t.Error("extra cells dropped")
+	}
+}

@@ -1,0 +1,213 @@
+package value
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultAlpha is the paper's default tolerance factor for Eq. 3:
+// tau(A) = alpha * Median(V(A)).
+const DefaultAlpha = 0.01
+
+// DefaultTimeToleranceMinutes is the paper's tolerance for clock times:
+// "For time we are tolerant to 10-minute difference."
+const DefaultTimeToleranceMinutes = 10.0
+
+// Tolerance computes the comparison tolerance for one attribute per the
+// paper's Section 3.2: for numeric attributes it is alpha times the median of
+// all values observed for the attribute (Eq. 3, using absolute magnitude so
+// that attributes centred near zero, like change%, still get a usable band);
+// for times it is a fixed minute budget; for text it is zero (exact match).
+func Tolerance(kind Kind, all []float64, alpha float64) float64 {
+	switch kind {
+	case Text:
+		return 0
+	case Time:
+		return DefaultTimeToleranceMinutes
+	default:
+		if len(all) == 0 {
+			return 0
+		}
+		med := math.Abs(Median(all))
+		tol := alpha * med
+		if tol <= 0 {
+			// Degenerate attribute (median zero): fall back to a small
+			// absolute band derived from the value spread so equal-to-zero
+			// items still bucket.
+			tol = alpha * meanAbs(all)
+		}
+		return tol
+	}
+}
+
+// Median returns the median of xs without modifying the input.
+// It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+func meanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Abs(x)
+	}
+	return s / float64(len(xs))
+}
+
+// Bucket is one group of tolerance-equivalent values on a single data item,
+// produced by Bucketize. Rep is the representative value (the one provided by
+// the most sources within the bucket, ties broken toward the first seen);
+// Members holds the indices of the bucketed input values.
+type Bucket struct {
+	Rep     Value
+	Members []int
+}
+
+// Bucketize groups the values provided on one data item per the paper's
+// procedure: starting from the dominant value v0, numeric values are assigned
+// to intervals (v0+(k-1/2)tau, v0+(k+1/2)tau]; text values group by exact
+// normalised equality. The dominant bucket is found by first grouping exactly
+// equal values, picking the most-provided as v0, then merging within
+// tolerance. Buckets are returned ordered by descending size with ties broken
+// by first occurrence, so Buckets[0] is the dominant value's bucket.
+func Bucketize(values []Value, tol float64) []Bucket {
+	if len(values) == 0 {
+		return nil
+	}
+	if values[0].Kind == Text || tol <= 0 {
+		return bucketizeExact(values)
+	}
+
+	// Pass 1: find v0, the single most frequent exact value.
+	type group struct {
+		first int
+		count int
+	}
+	exact := make(map[float64]*group)
+	order := make([]float64, 0, len(values))
+	for i, v := range values {
+		g := exact[v.Num]
+		if g == nil {
+			g = &group{first: i}
+			exact[v.Num] = g
+			order = append(order, v.Num)
+		}
+		g.count++
+	}
+	v0 := order[0]
+	best := exact[v0]
+	for _, x := range order {
+		g := exact[x]
+		if g.count > best.count || (g.count == best.count && g.first < best.first) {
+			v0, best = x, g
+		}
+	}
+
+	// Pass 2: assign every value to the bucket index round((x-v0)/tau).
+	byKey := make(map[int64]*Bucket)
+	var keys []int64
+	for i, v := range values {
+		k := int64(math.Round((v.Num - v0) / tol))
+		b := byKey[k]
+		if b == nil {
+			b = &Bucket{}
+			byKey[k] = b
+			keys = append(keys, k)
+		}
+		b.Members = append(b.Members, i)
+	}
+
+	buckets := make([]Bucket, 0, len(keys))
+	for _, k := range keys {
+		b := byKey[k]
+		b.Rep = representative(values, b.Members)
+		buckets = append(buckets, *b)
+	}
+	sortBuckets(buckets)
+	return buckets
+}
+
+func bucketizeExact(values []Value) []Bucket {
+	type keyed struct {
+		kind Kind
+		num  float64
+		text string
+	}
+	byKey := make(map[keyed]*Bucket)
+	var orderKeys []keyed
+	for i, v := range values {
+		k := keyed{v.Kind, v.Num, v.Text}
+		b := byKey[k]
+		if b == nil {
+			b = &Bucket{Rep: v}
+			byKey[k] = b
+			orderKeys = append(orderKeys, k)
+		}
+		b.Members = append(b.Members, i)
+	}
+	buckets := make([]Bucket, 0, len(orderKeys))
+	for _, k := range orderKeys {
+		buckets = append(buckets, *byKey[k])
+	}
+	sortBuckets(buckets)
+	return buckets
+}
+
+// representative picks the most frequent exact value among the bucket
+// members, breaking ties toward the earliest member, and keeps the finest
+// granularity observed for it.
+func representative(values []Value, members []int) Value {
+	type tally struct {
+		first int
+		count int
+		val   Value
+	}
+	byNum := make(map[float64]*tally)
+	var order []float64
+	for _, i := range members {
+		v := values[i]
+		t := byNum[v.Num]
+		if t == nil {
+			t = &tally{first: i, val: v}
+			byNum[v.Num] = t
+			order = append(order, v.Num)
+		}
+		t.count++
+		if v.Gran < t.val.Gran {
+			t.val.Gran = v.Gran
+		}
+	}
+	bestKey := order[0]
+	for _, k := range order {
+		t := byNum[k]
+		b := byNum[bestKey]
+		if t.count > b.count || (t.count == b.count && t.first < b.first) {
+			bestKey = k
+		}
+	}
+	return byNum[bestKey].val
+}
+
+// sortBuckets orders buckets by descending provider count, breaking ties by
+// the smallest member index so the ordering is deterministic.
+func sortBuckets(buckets []Bucket) {
+	sort.SliceStable(buckets, func(i, j int) bool {
+		if len(buckets[i].Members) != len(buckets[j].Members) {
+			return len(buckets[i].Members) > len(buckets[j].Members)
+		}
+		return buckets[i].Members[0] < buckets[j].Members[0]
+	})
+}

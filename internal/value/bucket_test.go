@@ -1,0 +1,174 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTolerance(t *testing.T) {
+	// Eq. 3: alpha * median.
+	vals := []float64{10, 20, 30, 40, 50}
+	if got := Tolerance(Number, vals, 0.01); got != 0.3 {
+		t.Errorf("Tolerance = %v, want 0.3", got)
+	}
+	if got := Tolerance(Time, nil, 0.01); got != DefaultTimeToleranceMinutes {
+		t.Errorf("time tolerance = %v", got)
+	}
+	if got := Tolerance(Text, vals, 0.01); got != 0 {
+		t.Errorf("text tolerance = %v", got)
+	}
+	if got := Tolerance(Number, nil, 0.01); got != 0 {
+		t.Errorf("empty tolerance = %v", got)
+	}
+	// Median-zero fallback uses mean absolute value.
+	centered := []float64{-2, -1, 0, 1, 2}
+	if got := Tolerance(Number, centered, 0.01); got <= 0 {
+		t.Errorf("centered tolerance should fall back to mean abs, got %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Median must not reorder its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestBucketizeNumeric(t *testing.T) {
+	vals := []Value{
+		Num(100), Num(100.2), Num(100.1), // dominant cluster
+		Num(105), Num(105.3), // second cluster
+		Num(250), // outlier
+	}
+	buckets := Bucketize(vals, 1.0)
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(buckets))
+	}
+	if len(buckets[0].Members) != 3 {
+		t.Errorf("dominant bucket size %d, want 3", len(buckets[0].Members))
+	}
+	if buckets[0].Rep.Num != 100 {
+		t.Errorf("dominant rep %v, want 100 (most frequent exact, first seen)", buckets[0].Rep.Num)
+	}
+	if len(buckets[1].Members) != 2 || len(buckets[2].Members) != 1 {
+		t.Errorf("bucket sizes %d/%d, want 2/1", len(buckets[1].Members), len(buckets[2].Members))
+	}
+}
+
+func TestBucketizeDominantCentering(t *testing.T) {
+	// The dominant exact value anchors the buckets: values within tau/2 of
+	// the anchor share its bucket.
+	vals := []Value{Num(10), Num(10), Num(10.4), Num(10.6)}
+	buckets := Bucketize(vals, 1.0)
+	if len(buckets[0].Members) != 3 {
+		t.Errorf("anchor bucket size %d, want 3 (10, 10, 10.4)", len(buckets[0].Members))
+	}
+	if len(buckets) != 2 {
+		t.Errorf("got %d buckets, want 2", len(buckets))
+	}
+}
+
+func TestBucketizeText(t *testing.T) {
+	vals := []Value{Str("B22"), Str("B22"), Str("C1"), Str("B22"), Str("C1"), Str("D4")}
+	buckets := Bucketize(vals, 0)
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(buckets))
+	}
+	if buckets[0].Rep.Text != "B22" || len(buckets[0].Members) != 3 {
+		t.Errorf("dominant text bucket = %v x%d", buckets[0].Rep.Text, len(buckets[0].Members))
+	}
+}
+
+func TestBucketizeEmpty(t *testing.T) {
+	if got := Bucketize(nil, 1); got != nil {
+		t.Errorf("Bucketize(nil) = %v", got)
+	}
+}
+
+func TestBucketizeSingle(t *testing.T) {
+	buckets := Bucketize([]Value{Num(5)}, 1)
+	if len(buckets) != 1 || len(buckets[0].Members) != 1 {
+		t.Fatalf("single value should give one singleton bucket: %+v", buckets)
+	}
+}
+
+func TestBucketizeZeroTolerance(t *testing.T) {
+	vals := []Value{Num(1), Num(1), Num(1.0000001)}
+	buckets := Bucketize(vals, 0)
+	if len(buckets) != 2 {
+		t.Errorf("zero tolerance should split exact values: %d buckets", len(buckets))
+	}
+}
+
+func TestRepresentativeKeepsFinestGran(t *testing.T) {
+	vals := []Value{NumGran(100, 1), NumGran(100, 0.01), NumGran(100, 1)}
+	buckets := Bucketize(vals, 1)
+	if buckets[0].Rep.Gran != 0.01 {
+		t.Errorf("representative granularity = %v, want the finest 0.01", buckets[0].Rep.Gran)
+	}
+}
+
+// Properties of bucketing: every input lands in exactly one bucket, buckets
+// are ordered by size, and the dominant exact value is in bucket 0.
+func TestBucketizeProperties(t *testing.T) {
+	f := func(seeds []uint16, tolRaw uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 64 {
+			seeds = seeds[:64]
+		}
+		tol := 1 + float64(tolRaw%50)
+		vals := make([]Value, len(seeds))
+		for i, s := range seeds {
+			vals[i] = Num(float64(s % 1000))
+		}
+		buckets := Bucketize(vals, tol)
+
+		seen := make(map[int]bool)
+		total := 0
+		for bi, b := range buckets {
+			if len(b.Members) == 0 {
+				return false
+			}
+			if bi > 0 && len(buckets[bi-1].Members) < len(b.Members) {
+				return false // not sorted by size
+			}
+			for _, m := range b.Members {
+				if seen[m] {
+					return false // member in two buckets
+				}
+				seen[m] = true
+				total++
+				// Every member is within tol of its bucket's representative
+				// anchor band (tolerance-width buckets mean a member may be
+				// up to tol away from the representative).
+				if math.Abs(vals[m].Num-b.Rep.Num) > tol {
+					return false
+				}
+			}
+		}
+		return total == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

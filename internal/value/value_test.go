@@ -1,0 +1,242 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Number: "number", Time: "time", Text: "text", Kind(9): "kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if v := Num(3.5); v.Kind != Number || v.Num != 3.5 || v.Gran != 0 {
+		t.Errorf("Num(3.5) = %+v", v)
+	}
+	if v := NumGran(1234, 10); v.Gran != 10 {
+		t.Errorf("NumGran gran = %v", v.Gran)
+	}
+	if v := Minutes(615); v.Kind != Time || v.Num != 615 {
+		t.Errorf("Minutes(615) = %+v", v)
+	}
+	if v := Str("  b22 "); v.Kind != Text || v.Text != "B22" {
+		t.Errorf("Str normalisation = %+v", v)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Value{}).IsZero() {
+		t.Error("zero value should be zero")
+	}
+	if Num(1).IsZero() || Str("x").IsZero() {
+		t.Error("non-zero values reported zero")
+	}
+}
+
+func TestNormalizeText(t *testing.T) {
+	cases := map[string]string{
+		"b22":       "B22",
+		"  B 22  ":  "B 22",
+		"gate\tA1":  "GATE A1",
+		"":          "",
+		"a  b   c ": "A B C",
+	}
+	for in, want := range cases {
+		if got := NormalizeText(in); got != want {
+			t.Errorf("NormalizeText(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatClock(t *testing.T) {
+	cases := map[float64]string{
+		0:    "00:00",
+		615:  "10:15",
+		1439: "23:59",
+		1440: "00:00",
+		1500: "01:00",
+		-60:  "23:00",
+	}
+	for in, want := range cases {
+		if got := FormatClock(in); got != want {
+			t.Errorf("FormatClock(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	cases := []struct {
+		x, gran float64
+		want    string
+	}{
+		{6700000, 1e5, "6.7M"},
+		{6700000, 1, "6700000"},
+		{6651200, 1e5, "6.7M"},
+		{1234567890, 1e8, "1.2B"},
+		{45300, 1e2, "45.3K"},
+		{12.85, 0.01, "12.85"},
+		{12.8, 0.01, "12.8"},
+		{3.5, 0.1, "3.5"},
+		{42, 1, "42"},
+	}
+	for _, c := range cases {
+		if got := FormatNumber(c.x, c.gran); got != c.want {
+			t.Errorf("FormatNumber(%v, %v) = %q, want %q", c.x, c.gran, got, c.want)
+		}
+	}
+}
+
+func TestRoundTo(t *testing.T) {
+	if got := RoundTo(1234, 100); got != 1200 {
+		t.Errorf("RoundTo(1234, 100) = %v", got)
+	}
+	if got := RoundTo(1250, 100); got != 1300 && got != 1200 {
+		t.Errorf("RoundTo(1250, 100) = %v, want a neighbour multiple", got)
+	}
+	if got := RoundTo(7, 0); got != 7 {
+		t.Errorf("RoundTo with zero step should be identity, got %v", got)
+	}
+	if got := RoundTo(7, -1); got != 7 {
+		t.Errorf("RoundTo with negative step should be identity, got %v", got)
+	}
+}
+
+func TestRoundsTo(t *testing.T) {
+	fine := NumGran(6651200, 1)
+	coarse := NumGran(6.7e6, 1e5)
+	if !RoundsTo(fine, coarse) {
+		t.Error("6,651,200 should round to 6.7M")
+	}
+	far := NumGran(6.9e6, 1e5)
+	if RoundsTo(fine, far) {
+		t.Error("6,651,200 should not round to 6.9M")
+	}
+	if RoundsTo(coarse, fine) {
+		t.Error("coarse cannot be subsumed by fine")
+	}
+	if RoundsTo(Str("A"), Str("A")) {
+		t.Error("text values never subsume")
+	}
+	if RoundsTo(fine, fine) {
+		t.Error("a value does not subsume itself")
+	}
+	if RoundsTo(fine, Minutes(3)) {
+		t.Error("cross-kind subsumption must be false")
+	}
+}
+
+// Property: rounding a fine value to the coarse granularity always produces
+// a value that RoundsTo accepts.
+func TestRoundsToProperty(t *testing.T) {
+	f := func(raw float64, granExp uint8) bool {
+		x := math.Abs(raw)
+		if !(x > 0 && x < 1e12) {
+			return true // skip degenerate inputs
+		}
+		gran := math.Pow(10, float64(granExp%7)) // 1 .. 1e6
+		if x < gran {
+			return true // rounding to zero is out of scope
+		}
+		fine := Num(x)
+		coarse := NumGran(RoundTo(x, gran), gran)
+		if coarse.Num == 0 {
+			return true
+		}
+		return RoundsTo(fine, coarse)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Num(100), Num(100.5), 1) {
+		t.Error("within tolerance should be equal")
+	}
+	if Equal(Num(100), Num(102), 1) {
+		t.Error("outside tolerance should differ")
+	}
+	if Equal(Num(1), Str("1"), 10) {
+		t.Error("cross-kind equality must be false")
+	}
+	if !Equal(Str("B22"), Str("B22"), 0) {
+		t.Error("equal text")
+	}
+	if Equal(Str("B22"), Str("B23"), 5) {
+		t.Error("text ignores tolerance")
+	}
+	if !Equal(Minutes(615), Minutes(620), 10) {
+		t.Error("times within 10 minutes are equal")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity(Num(100), Num(100), 1); s != 1 {
+		t.Errorf("identical values similarity = %v", s)
+	}
+	if s := Similarity(Num(100), Num(200), 1); s != 0 {
+		t.Errorf("far values similarity = %v", s)
+	}
+	near := Similarity(Num(100), Num(101), 1)
+	far := Similarity(Num(100), Num(104), 1)
+	if !(near > far && far > 0) {
+		t.Errorf("similarity should decay: near=%v far=%v", near, far)
+	}
+	if s := Similarity(Num(1), Minutes(1), 1); s != 0 {
+		t.Error("cross-kind similarity must be 0")
+	}
+	if s := Similarity(Str("B22"), Str("B22"), 0); s != 1 {
+		t.Errorf("identical gates = %v", s)
+	}
+	if s := Similarity(Str("B22"), Str("B2"), 0); !(s > 0 && s < 1) {
+		t.Errorf("near-miss gates should get partial credit, got %v", s)
+	}
+	if s := Similarity(Str("B22"), Str("E7"), 0); s > 0.5 {
+		t.Errorf("unrelated gates too similar: %v", s)
+	}
+	// Exact-match path with zero tolerance.
+	if s := Similarity(Num(5), Num(5), 0); s != 1 {
+		t.Errorf("zero-tol identical = %v", s)
+	}
+	if s := Similarity(Num(5), Num(6), 0); s != 0 {
+		t.Errorf("zero-tol distinct = %v", s)
+	}
+}
+
+// Property: similarity is symmetric and within [0, 1].
+func TestSimilaritySymmetry(t *testing.T) {
+	f := func(a, b float64, tol float64) bool {
+		tol = math.Abs(tol)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		s1 := Similarity(Num(a), Num(b), tol)
+		s2 := Similarity(Num(b), Num(a), tol)
+		return s1 == s2 && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NumGran(6700000, 1e5), "6.7M"},
+		{Minutes(615), "10:15"},
+		{Str("b22"), "B22"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

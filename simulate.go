@@ -1,0 +1,98 @@
+package truthdiscovery
+
+import (
+	"truthdiscovery/internal/datagen"
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// NewGold returns an empty truth table for use as a gold standard.
+func NewGold() *TruthTable { return model.NewTruthTable() }
+
+// ParseValue parses a raw deep-web string into a normalised Value of the
+// given kind ("6.7M", "6,700,000", "6:15pm", "B22"...).
+func ParseValue(kind ValueKind, raw string) (Value, error) {
+	return value.Parse(kind, raw)
+}
+
+// StockOptions configures the Stock collection simulator (zero fields fall
+// back to the paper-scale defaults: 1000 stocks, 21 days, 55 sources, 200
+// gold symbols).
+type StockOptions struct {
+	Seed        int64
+	Stocks      int
+	Days        int
+	GoldSymbols int
+	Sources     int
+}
+
+// FlightOptions configures the Flight collection simulator (defaults: 1200
+// flights, 31 days, 38 sources, 100 gold flights).
+type FlightOptions struct {
+	Seed        int64
+	Flights     int
+	Days        int
+	GoldFlights int
+	Sources     int
+}
+
+// Simulated is a generated collection: the dataset with all daily
+// snapshots, the per-day world truth, the fused source set, the authority
+// sources, and the planted copying groups.
+type Simulated struct {
+	Dataset     *Dataset
+	Truths      []*TruthTable
+	Fused       []SourceID
+	Authorities []SourceID
+	CopyGroups  [][]SourceID
+}
+
+// SimulateStock generates a Stock collection per the paper's Section 2.2
+// (see DESIGN.md for the substitution argument).
+func SimulateStock(o StockOptions) *Simulated {
+	cfg := datagen.DefaultStockConfig(o.Seed)
+	if o.Stocks > 0 {
+		cfg.Stocks = o.Stocks
+	}
+	if o.Days > 0 {
+		cfg.Days = o.Days
+	}
+	if o.GoldSymbols > 0 {
+		cfg.GoldSymbols = o.GoldSymbols
+	}
+	if o.Sources > 0 {
+		cfg.Sources = o.Sources
+	}
+	return fromGenerated(datagen.GenerateStock(cfg))
+}
+
+// SimulateFlight generates a Flight collection per the paper's Section 2.2.
+func SimulateFlight(o FlightOptions) *Simulated {
+	cfg := datagen.DefaultFlightConfig(o.Seed)
+	if o.Flights > 0 {
+		cfg.Flights = o.Flights
+	}
+	if o.Days > 0 {
+		cfg.Days = o.Days
+	}
+	if o.GoldFlights > 0 {
+		cfg.GoldFlights = o.GoldFlights
+	}
+	if o.Sources > 0 {
+		cfg.Sources = o.Sources
+	}
+	return fromGenerated(datagen.GenerateFlight(cfg))
+}
+
+func fromGenerated(g *datagen.Generated) *Simulated {
+	out := &Simulated{
+		Dataset:     g.Dataset,
+		Truths:      g.Truths,
+		Fused:       g.Fused,
+		Authorities: g.Authorities,
+	}
+	for _, grp := range g.CopyGroups {
+		out.CopyGroups = append(out.CopyGroups, grp.Members)
+	}
+	return out
+}
