@@ -1,0 +1,33 @@
+# Local and CI entry points. CI (.github/workflows/ci.yml) calls these
+# exact targets so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench lint fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel equivalence tests run under the race detector here; this is
+# the gate that keeps the work-stealing layer honest.
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: one iteration of every benchmark, no unit tests.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	@fmtout="$$(gofmt -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+ci: lint build race bench

@@ -184,3 +184,118 @@ func BenchmarkSeedTrustComputation(b *testing.B) {
 		}
 	}
 }
+
+// Serial-vs-parallel benchmarks for the work-stealing execution layer
+// (internal/parallel). Run the pairs with -benchtime and GOMAXPROCS >= 4
+// to measure the wall-clock speedup; results are bit-identical between
+// the two paths by construction (see parallel_equiv_test.go).
+
+// benchCopyDetect times one full copy-detection pass (observation
+// counting plus pairwise Bayesian scoring) on the Stock problem.
+func benchCopyDetect(b *testing.B, parallelism int) {
+	env := benchEnviron(b)
+	d := env.Stock()
+	p := d.Problem()
+	acc := d.SampledAccuracy()
+	chosen := make([]int32, len(p.Items))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep := fusion.DebugDetect(p, chosen, acc, fusion.Options{Parallelism: parallelism})
+		if len(dep) != len(p.SourceIDs) {
+			b.Fatal("bad dependence matrix")
+		}
+	}
+}
+
+func BenchmarkCopyDetectSerial(b *testing.B)   { benchCopyDetect(b, 1) }
+func BenchmarkCopyDetectParallel(b *testing.B) { benchCopyDetect(b, 0) }
+
+// benchFusionIteration times the heaviest non-copy method end to end.
+func benchFusionIteration(b *testing.B, parallelism int) {
+	env := benchEnviron(b)
+	d := env.Stock()
+	p := d.Problem()
+	m, _ := fusion.ByName("AccuFormatAttr")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.Run(p, fusion.Options{Parallelism: parallelism})
+		if len(res.Chosen) != len(p.Items) {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFusionAccuFormatAttrSerial(b *testing.B)   { benchFusionIteration(b, 1) }
+func BenchmarkFusionAccuFormatAttrParallel(b *testing.B) { benchFusionIteration(b, 0) }
+
+// benchAccuCopyRun times ACCUCOPY, whose rounds interleave the parallel
+// posterior phase with the parallel detector.
+func benchAccuCopyRun(b *testing.B, parallelism int) {
+	env := benchEnviron(b)
+	d := env.Stock()
+	p := d.Problem()
+	m, _ := fusion.ByName("AccuCopy")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.Run(p, fusion.Options{Parallelism: parallelism})
+		if len(res.Chosen) != len(p.Items) {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkAccuCopySerial(b *testing.B)   { benchAccuCopyRun(b, 1) }
+func BenchmarkAccuCopyParallel(b *testing.B) { benchAccuCopyRun(b, 0) }
+
+// regenEnvs caches one environment per parallelism level, so the Serial
+// variant is serial all the way down: Config.Parallelism rides along on
+// the domains and is stamped into every inner fusion/copy-detection call
+// (a shared Parallelism-0 env would fan those out GOMAXPROCS-wide even
+// in the "serial" run).
+var (
+	regenMu   sync.Mutex
+	regenEnvs = map[int]*experiments.Env{}
+)
+
+func regenEnviron(parallelism int) *experiments.Env {
+	regenMu.Lock()
+	defer regenMu.Unlock()
+	env, ok := regenEnvs[parallelism]
+	if !ok {
+		cfg := experiments.QuickConfig(1)
+		cfg.Parallelism = parallelism
+		env = experiments.NewEnv(cfg)
+		for _, d := range env.Domains() {
+			d.Problem()
+			d.SampledAccuracy()
+			d.SampledAttrAccuracy()
+		}
+		regenEnvs[parallelism] = env
+	}
+	return env
+}
+
+// benchRegenerate times multi-experiment regeneration — the fan-out
+// cmd/truthbench uses — over a fusion-heavy subset.
+func benchRegenerate(b *testing.B, parallelism int) {
+	env := regenEnviron(parallelism)
+	ids := []string{"table7", "figure10", "table8", "figure12", "table5", "figure7"}
+	var xs []experiments.Experiment
+	for _, id := range ids {
+		x, err := experiments.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs = append(xs, x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps := experiments.RunAll(env, xs, parallelism)
+		if len(reps) != len(ids) {
+			b.Fatal("missing reports")
+		}
+	}
+}
+
+func BenchmarkRegenerateExperimentsSerial(b *testing.B)   { benchRegenerate(b, 1) }
+func BenchmarkRegenerateExperimentsParallel(b *testing.B) { benchRegenerate(b, 0) }

@@ -18,8 +18,9 @@ import (
 
 func main() {
 	var (
-		method = flag.String("method", "Vote", "fusion method name")
-		in     = flag.String("in", "-", "claims CSV path ('-' = stdin)")
+		method   = flag.String("method", "Vote", "fusion method name")
+		in       = flag.String("in", "-", "claims CSV path ('-' = stdin)")
+		parallel = flag.Int("parallel", 0, "fusion worker count (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	answers, err := td.Fuse(ds, snap, *method, td.FuseOptions{})
+	answers, err := td.Fuse(ds, snap, *method, td.FuseOptions{Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -10,6 +10,10 @@
 //	truthbench -list                # list experiment IDs
 //	truthbench -quick               # reduced scale (CI-friendly)
 //	truthbench -seed 7              # different simulated world
+//	truthbench -parallel 1          # serial experiment execution
+//
+// Independent experiments regenerate concurrently (bounded by -parallel;
+// 0 means GOMAXPROCS); reports are still printed in the paper's order.
 package main
 
 import (
@@ -17,17 +21,18 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"truthdiscovery/internal/experiments"
+	"truthdiscovery/internal/report"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		quick = flag.Bool("quick", false, "reduced scale for quick runs")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		quick    = flag.Bool("quick", false, "reduced scale for quick runs")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel = flag.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -42,6 +47,10 @@ func main() {
 	if *quick {
 		cfg = experiments.QuickConfig(*seed)
 	}
+	// -parallel bounds both the experiment fan-out and the fusion/copy-
+	// detection calls inside each experiment, so -parallel 1 is serial
+	// all the way down.
+	cfg.Parallelism = *parallel
 	env := experiments.NewEnv(cfg)
 
 	var todo []experiments.Experiment
@@ -58,10 +67,7 @@ func main() {
 		}
 	}
 
-	for _, x := range todo {
-		start := time.Now()
-		rep := x.Run(env)
-		rep.Note("elapsed: %s", time.Since(start).Round(time.Millisecond))
+	experiments.RunAllStream(env, todo, *parallel, func(rep *report.Report) {
 		rep.Render(os.Stdout)
-	}
+	})
 }

@@ -1,0 +1,3 @@
+module truthdiscovery
+
+go 1.24

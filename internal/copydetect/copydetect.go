@@ -14,6 +14,8 @@ package copydetect
 
 import (
 	"math"
+
+	"truthdiscovery/internal/parallel"
 )
 
 // Observation is one data item's claims: parallel slices of providing
@@ -62,6 +64,12 @@ type Options struct {
 	// values (the Stock jitter buckets) remain strong evidence, preserving
 	// the false-positive failure mode the paper reports on Stock.
 	UniformFalse bool
+	// Parallelism bounds the workers used for observation counting and
+	// pair scoring (0 = GOMAXPROCS, 1 = serial). Output is bit-identical
+	// at any setting: observations are accumulated into fixed-size chunk
+	// partials that are merged in chunk order regardless of which worker
+	// produced them, and each pair's posterior is computed independently.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -90,14 +98,97 @@ type pairCounts struct {
 	sumLnPop  float64
 }
 
+// countChunkSize is the fixed number of observations per accumulation
+// chunk. It is a constant — never derived from the worker count — so the
+// chunk boundaries, and therefore the floating-point association of the
+// weighted per-pair sums, are identical at every parallelism level
+// (including 1: the serial path accumulates the same chunks in the same
+// order, just inline). The chunked association may differ from a naive
+// single-pass sum by last-ulp amounts on inputs longer than one chunk;
+// what is guaranteed, and tested, is that the result never varies with
+// the worker count.
+const countChunkSize = 512
+
 // Detect returns the symmetric pairwise dependence probabilities
 // dep[s1][s2] = P(s1 and s2 are not independent | observations), given
 // per-source accuracies and the current truth assignment embedded in the
 // observations.
+//
+// Both phases run on the configured worker pool (Options.Parallelism):
+// observation counting accumulates into per-chunk partial matrices that
+// are merged in chunk order, and the upper triangle of pair posteriors is
+// scored with one independent computation per pair. The result is
+// bit-identical at any parallelism.
 func Detect(numSources int, obs []Observation, accuracy []float64, opts Options) [][]float64 {
 	opts = opts.withDefaults()
-	counts := make([]pairCounts, numSources*numSources)
+	counts := accumulate(numSources, obs, opts)
 
+	dep := make([][]float64, numSources)
+	for i := range dep {
+		dep[i] = make([]float64, numSources)
+	}
+	// Score the upper triangle: every pair's posterior depends only on its
+	// own counts, and the symmetric writes dep[s1][s2] / dep[s2][s1] are
+	// disjoint across pairs.
+	parallel.For(numSources, opts.Parallelism, func(lo, hi int) {
+		for s1 := lo; s1 < hi; s1++ {
+			for s2 := s1 + 1; s2 < numSources; s2++ {
+				pc := counts[s1*numSources+s2]
+				total := float64(pc.bothTrue+pc.differ) + pc.sameFalse
+				if total < float64(opts.MinOverlap) {
+					continue
+				}
+				p := pairDependence(pc, accuracy[s1], accuracy[s2], opts)
+				dep[s1][s2] = p
+				dep[s2][s1] = p
+			}
+		}
+	})
+	return dep
+}
+
+// accumulate tallies the per-pair observation classes. Observations are
+// split into fixed chunks; each chunk's counts start from zero and are
+// accumulated in observation order, and the chunk partials are then
+// merged in ascending chunk order on one goroutine. Since neither the
+// chunk boundaries nor the merge order depend on which worker processed a
+// chunk, the sums carry the exact same floating-point association at
+// every parallelism level.
+func accumulate(numSources int, obs []Observation, opts Options) []pairCounts {
+	numChunks := (len(obs) + countChunkSize - 1) / countChunkSize
+	if numChunks <= 1 {
+		counts := make([]pairCounts, numSources*numSources)
+		countInto(counts, numSources, obs, opts)
+		return counts
+	}
+	partials := make([][]pairCounts, numChunks)
+	parallel.For(numChunks, opts.Parallelism, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			first := c * countChunkSize
+			last := min(first+countChunkSize, len(obs))
+			part := make([]pairCounts, numSources*numSources)
+			countInto(part, numSources, obs[first:last], opts)
+			partials[c] = part
+		}
+	})
+	counts := partials[0]
+	for c := 1; c < numChunks; c++ {
+		for i, pc := range partials[c] {
+			if pc == (pairCounts{}) {
+				continue
+			}
+			counts[i].bothTrue += pc.bothTrue
+			counts[i].differ += pc.differ
+			counts[i].sameFalse += pc.sameFalse
+			counts[i].sumLnPop += pc.sumLnPop
+		}
+	}
+	return counts
+}
+
+// countInto classifies every co-observation of the given observations
+// into counts (the serial inner kernel shared by all chunk sizes).
+func countInto(counts []pairCounts, numSources int, obs []Observation, opts Options) {
 	for oi := range obs {
 		o := &obs[oi]
 		n := len(o.Sources)
@@ -131,24 +222,6 @@ func Detect(numSources int, obs []Observation, accuracy []float64, opts Options)
 			}
 		}
 	}
-
-	dep := make([][]float64, numSources)
-	for i := range dep {
-		dep[i] = make([]float64, numSources)
-	}
-	for s1 := 0; s1 < numSources; s1++ {
-		for s2 := s1 + 1; s2 < numSources; s2++ {
-			pc := counts[s1*numSources+s2]
-			total := float64(pc.bothTrue+pc.differ) + pc.sameFalse
-			if total < float64(opts.MinOverlap) {
-				continue
-			}
-			p := pairDependence(pc, accuracy[s1], accuracy[s2], opts)
-			dep[s1][s2] = p
-			dep[s2][s1] = p
-		}
-	}
-	return dep
 }
 
 // pairDependence applies the Bayesian model of Dong et al.: compare the

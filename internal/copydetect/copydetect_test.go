@@ -192,3 +192,91 @@ func TestClampAcc(t *testing.T) {
 		t.Error("clamp01 bounds wrong")
 	}
 }
+
+// synthObservations builds a deterministic pseudo-random world large
+// enough to span many accumulation chunks (the multi-chunk merge path),
+// with fractional false-weights so the order-sensitive weighted sums are
+// genuinely exercised.
+func synthObservations(nItems, nSources int) []Observation {
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	obs := make([]Observation, nItems)
+	for i := range obs {
+		n := 2 + int(next()%uint64(nSources-1))
+		o := Observation{
+			Sources:   make([]int32, 0, n),
+			Buckets:   make([]int32, 0, n),
+			Truthy:    make([]bool, 0, n),
+			Pop:       make([]float64, 0, n),
+			FalseW:    make([]float64, 0, n),
+			Contested: make([]bool, 0, n),
+		}
+		seen := make(map[int32]bool)
+		for len(o.Sources) < n {
+			s := int32(next() % uint64(nSources))
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			b := int32(next() % 4)
+			o.Sources = append(o.Sources, s)
+			o.Buckets = append(o.Buckets, b)
+			o.Truthy = append(o.Truthy, b == 0)
+			o.Pop = append(o.Pop, 0.1+float64(next()%80)/100)
+			o.FalseW = append(o.FalseW, float64(next()%100)/100)
+			o.Contested = append(o.Contested, next()%10 == 0)
+		}
+		obs[i] = o
+	}
+	return obs
+}
+
+// TestDetectParallelismEquivalence asserts the core determinism contract:
+// Detect returns bit-identical matrices at every parallelism level,
+// including ranges long enough to need chunked accumulation and merge.
+func TestDetectParallelismEquivalence(t *testing.T) {
+	const nSources = 14
+	obs := synthObservations(3*countChunkSize+37, nSources)
+	acc := make([]float64, nSources)
+	for s := range acc {
+		acc[s] = 0.5 + float64(s)/40
+	}
+	opts := Options{MinOverlap: 5}
+	opts.Parallelism = 1
+	serial := Detect(nSources, obs, acc, opts)
+	for _, par := range []int{2, 4, 8} {
+		opts.Parallelism = par
+		got := Detect(nSources, obs, acc, opts)
+		for s1 := range serial {
+			for s2 := range serial[s1] {
+				if serial[s1][s2] != got[s1][s2] {
+					t.Fatalf("parallelism %d: dep[%d][%d] = %v, serial %v",
+						par, s1, s2, got[s1][s2], serial[s1][s2])
+				}
+			}
+		}
+	}
+}
+
+// TestAccumulateSingleChunkMatchesMultiChunk pins the fixed-chunk design:
+// the chunk boundaries depend only on the observation count, so a short
+// input takes the single-allocation fast path and a long one merges
+// partials — and a prefix of the long input must score the same pairs as
+// the same observations presented alone.
+func TestAccumulateSingleChunkMatchesMultiChunk(t *testing.T) {
+	obs := synthObservations(countChunkSize+1, 6)
+	opts := Options{MinOverlap: 1}.withDefaults()
+	whole := accumulate(6, obs, opts)
+	direct := make([]pairCounts, 6*6)
+	countInto(direct, 6, obs, opts)
+	for i := range whole {
+		if whole[i].bothTrue != direct[i].bothTrue || whole[i].differ != direct[i].differ {
+			t.Fatalf("pair %d: integer counts differ: %+v vs %+v", i, whole[i], direct[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"sort"
+	"sync"
 
 	"truthdiscovery/internal/datagen"
 	"truthdiscovery/internal/fusion"
@@ -24,6 +25,11 @@ type Config struct {
 	// experiments use (the paper reports 2011-07-07 and 2011-12-08).
 	StockDay  int
 	FlightDay int
+	// Parallelism bounds the workers of every fusion and copy-detection
+	// call the experiments make (0 = GOMAXPROCS, 1 = serial). It rides
+	// along on each Domain so runners stamp it into their fusion options
+	// via Domain.FusionOpts.
+	Parallelism int
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -52,27 +58,38 @@ func QuickConfig(seed int64) Config {
 }
 
 // Domain bundles everything the experiments need about one collection's
-// study snapshot.
+// study snapshot. The lazily built caches are guarded so concurrent
+// experiments (RunAll) can share one domain; experiments that *mutate*
+// domain state are marked Exclusive in the registry and never overlap
+// with others.
 type Domain struct {
-	Name    string
-	Gen     datagen.Generator
-	DS      *model.Dataset
-	Snap    *model.Snapshot
-	Gold    *model.TruthTable
-	Fused   []model.SourceID
-	Groups  []datagen.CopyGroup
-	Day     int
-	Days    int
+	Name   string
+	Gen    datagen.Generator
+	DS     *model.Dataset
+	Snap   *model.Snapshot
+	Gold   *model.TruthTable
+	Fused  []model.SourceID
+	Groups []datagen.CopyGroup
+	Day    int
+	Days   int
+	// Par is Config.Parallelism: the worker bound every fusion and
+	// copy-detection call on this domain should use.
+	Par int
+
+	mu      sync.Mutex
 	problem *fusion.Problem
 	acc     []float64
 	attrAcc [][]float64
 }
 
-// Env lazily builds and caches the two domains.
+// Env lazily builds and caches the two domains. Safe for concurrent use.
 type Env struct {
-	Cfg    Config
-	stock  *Domain
-	flight *Domain
+	Cfg Config
+
+	stockOnce  sync.Once
+	stock      *Domain
+	flightOnce sync.Once
+	flight     *Domain
 }
 
 // NewEnv returns an environment for the given configuration.
@@ -80,26 +97,26 @@ func NewEnv(cfg Config) *Env { return &Env{Cfg: cfg} }
 
 // Stock returns the Stock domain, building it on first use.
 func (e *Env) Stock() *Domain {
-	if e.stock == nil {
+	e.stockOnce.Do(func() {
 		gen := datagen.NewStock(e.Cfg.Stock)
-		e.stock = newDomain("Stock", gen, e.Cfg.StockDay, e.Cfg.Stock.Days)
-	}
+		e.stock = newDomain("Stock", gen, e.Cfg.StockDay, e.Cfg.Stock.Days, e.Cfg.Parallelism)
+	})
 	return e.stock
 }
 
 // Flight returns the Flight domain, building it on first use.
 func (e *Env) Flight() *Domain {
-	if e.flight == nil {
+	e.flightOnce.Do(func() {
 		gen := datagen.NewFlight(e.Cfg.Flight)
-		e.flight = newDomain("Flight", gen, e.Cfg.FlightDay, e.Cfg.Flight.Days)
-	}
+		e.flight = newDomain("Flight", gen, e.Cfg.FlightDay, e.Cfg.Flight.Days, e.Cfg.Parallelism)
+	})
 	return e.flight
 }
 
 // Domains returns both domains in paper order.
 func (e *Env) Domains() []*Domain { return []*Domain{e.Stock(), e.Flight()} }
 
-func newDomain(name string, gen datagen.Generator, day, days int) *Domain {
+func newDomain(name string, gen datagen.Generator, day, days, par int) *Domain {
 	ds := gen.Dataset()
 	snap := gen.Snapshot(day)
 	ds.ComputeTolerances(value.DefaultAlpha, snap)
@@ -113,23 +130,56 @@ func newDomain(name string, gen datagen.Generator, day, days int) *Domain {
 		Groups: gen.CopyGroups(),
 		Day:    day,
 		Days:   days,
+		Par:    par,
 	}
 }
 
 // Problem returns the (cached) fusion problem with similarity and format
 // structures built.
 func (d *Domain) Problem() *fusion.Problem {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.problemLocked()
+}
+
+func (d *Domain) problemLocked() *fusion.Problem {
 	if d.problem == nil {
-		d.problem = fusion.Build(d.DS, d.Snap,
-			d.Fused, fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true})
+		d.problem = fusion.Build(d.DS, d.Snap, d.Fused, d.BuildOpts())
 	}
 	return d.problem
 }
 
+// BuildOpts returns the full problem build options (similarity and
+// format structures) with the domain's parallelism stamped in.
+func (d *Domain) BuildOpts() fusion.BuildOptions {
+	return fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true, Parallelism: d.Par}
+}
+
+// FusionOpts returns base with the domain's parallelism stamped in;
+// experiment runners route every literal fusion.Options through it.
+func (d *Domain) FusionOpts(base fusion.Options) fusion.Options {
+	base.Parallelism = d.Par
+	return base
+}
+
+// InvalidateProblem drops the cached fusion problem (and the accuracies
+// sampled from it) so the next Problem call rebuilds under the dataset's
+// current tolerances. Only Exclusive experiments that re-derive
+// tolerances need it.
+func (d *Domain) InvalidateProblem() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.problem = nil
+	d.acc = nil
+	d.attrAcc = nil
+}
+
 // SampledAccuracy returns the (cached) per-problem-source gold accuracy.
 func (d *Domain) SampledAccuracy() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.acc == nil {
-		d.acc = fusion.SampleAccuracy(d.DS, d.Snap, d.Problem(), d.Gold)
+		d.acc = fusion.SampleAccuracy(d.DS, d.Snap, d.problemLocked(), d.Gold)
 	}
 	return d.acc
 }
@@ -137,8 +187,10 @@ func (d *Domain) SampledAccuracy() []float64 {
 // SampledAttrAccuracy returns the (cached) per-(source, attribute) gold
 // accuracy.
 func (d *Domain) SampledAttrAccuracy() [][]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.attrAcc == nil {
-		d.attrAcc = fusion.SampleAttrAccuracy(d.DS, d.Snap, d.Problem(), d.Gold)
+		d.attrAcc = fusion.SampleAttrAccuracy(d.DS, d.Snap, d.problemLocked(), d.Gold)
 	}
 	return d.attrAcc
 }
@@ -173,7 +225,7 @@ func (d *Domain) GroupMembers() [][]model.SourceID {
 // false-positive failure on numeric data) and the robust detector on Flight
 // (standing in for the paper's working detector there; see EXPERIMENTS.md).
 func (d *Domain) FusionOptions(method string, withTrust bool) fusion.Options {
-	opts := fusion.Options{}
+	opts := fusion.Options{Parallelism: d.Par}
 	if method == "AccuCopy" {
 		if d.Name == "Stock" {
 			opts.CopyDetectPaper2009 = true

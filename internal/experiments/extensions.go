@@ -25,7 +25,7 @@ func EnsembleExperiment(e *Env) *report.Report {
 			ev := fusion.Evaluate(d.DS, p, res, d.Gold)
 			t.AddRow("member: "+name, report.F3(ev.Precision))
 		}
-		ens := fusion.Ensemble{}.Run(p, fusion.Options{})
+		ens := fusion.Ensemble{}.Run(p, d.FusionOpts(fusion.Options{}))
 		ev := fusion.Evaluate(d.DS, p, ens, d.Gold)
 		t.AddRow("Ensemble (majority of members)", report.F3(ev.Precision))
 	}
@@ -47,11 +47,11 @@ func SeedTrustExperiment(e *Env) *report.Report {
 			"Default (1 round)", "Seeded (1 round)", "Sampled trust")
 		for _, name := range []string{"AccuPr", "TruthFinder", "AccuFormatAttr"} {
 			m, _ := fusion.ByName(name)
-			def := fusion.Evaluate(d.DS, p, m.Run(p, fusion.Options{}), d.Gold)
-			seeded := fusion.Evaluate(d.DS, p, m.Run(p, fusion.Options{InitialTrust: seed}), d.Gold)
-			def1 := fusion.Evaluate(d.DS, p, m.Run(p, fusion.Options{MaxRounds: 1}), d.Gold)
+			def := fusion.Evaluate(d.DS, p, m.Run(p, d.FusionOpts(fusion.Options{})), d.Gold)
+			seeded := fusion.Evaluate(d.DS, p, m.Run(p, d.FusionOpts(fusion.Options{InitialTrust: seed})), d.Gold)
+			def1 := fusion.Evaluate(d.DS, p, m.Run(p, d.FusionOpts(fusion.Options{MaxRounds: 1})), d.Gold)
 			seeded1 := fusion.Evaluate(d.DS, p,
-				m.Run(p, fusion.Options{InitialTrust: seed, MaxRounds: 1}), d.Gold)
+				m.Run(p, d.FusionOpts(fusion.Options{InitialTrust: seed, MaxRounds: 1})), d.Gold)
 			sampled := fusion.Evaluate(d.DS, p, m.Run(p, d.FusionOptions(name, true)), d.Gold)
 			t.AddRow(name, report.F3(def.Precision), report.F3(seeded.Precision),
 				report.F3(def1.Precision), report.F3(seeded1.Precision),
@@ -77,7 +77,7 @@ func CategoryTrustExperiment(e *Env) *report.Report {
 	for _, m := range []fusion.Method{
 		mustMethod("AccuSim"), fusion.AccuSimCat{}, mustMethod("AccuSimAttr"),
 	} {
-		res := m.Run(p, fusion.Options{})
+		res := m.Run(p, d.FusionOpts(fusion.Options{}))
 		ev := fusion.Evaluate(d.DS, p, res, d.Gold)
 		t.AddRow(m.Name(), report.F3(ev.Precision))
 	}
@@ -108,9 +108,8 @@ func SourceSelectionExperiment(e *Env) *report.Report {
 			for i, s := range srcIdx {
 				subset[i] = ordered[s]
 			}
-			prob := fusion.Build(d.DS, d.Snap, subset,
-				fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true})
-			res := m.Run(prob, fusion.Options{MaxRounds: 30})
+			prob := fusion.Build(d.DS, d.Snap, subset, d.BuildOpts())
+			res := m.Run(prob, d.FusionOpts(fusion.Options{MaxRounds: 30}))
 			return fusion.Evaluate(d.DS, prob, res, d.Gold).Recall
 		}
 		// Bound the greedy search to the best 14 candidates by recall.

@@ -120,13 +120,12 @@ func Figure9(e *Env) *report.Report {
 		peakAt = make([]int, len(figure9Methods))
 		for n := 1; n <= len(ordered); n += step {
 			prefix := ordered[:n]
-			prob := fusion.Build(d.DS, d.Snap, prefix,
-				fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true})
+			prob := fusion.Build(d.DS, d.Snap, prefix, d.BuildOpts())
 			row := make([]interface{}, 0, len(figure9Methods)+1)
 			row = append(row, fmt.Sprintf("%d", n))
 			for mi, name := range figure9Methods {
 				m, _ := fusion.ByName(name)
-				opts := fusion.Options{}
+				opts := d.FusionOpts(fusion.Options{})
 				if name == "AccuCopy" && d.Name == "Stock" {
 					opts.CopyDetectPaper2009 = true
 				}
@@ -411,10 +410,9 @@ func Table9(e *Env) *report.Report {
 			}
 			d.DS.ComputeTolerances(value.DefaultAlpha, snap)
 			gld := d.GoldFor(snap)
-			prob := fusion.Build(d.DS, snap, d.Fused,
-				fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true})
+			prob := fusion.Build(d.DS, snap, d.Fused, d.BuildOpts())
 			for _, m := range fusion.Methods() {
-				opts := fusion.Options{}
+				opts := d.FusionOpts(fusion.Options{})
 				if m.Name() == "AccuCopy" && d.Name == "Stock" {
 					opts.CopyDetectPaper2009 = true
 				}
@@ -451,13 +449,13 @@ func AccuCopyAblation(e *Env) *report.Report {
 			name string
 			opts fusion.Options
 		}{
-			{"plain 2009 (paper's implementation)", fusion.Options{CopyDetectPaper2009: true}},
-			{"popularity-aware + contested handling", fusion.Options{}},
-			{"similarity-aware (Section 5 fix)", fusion.Options{CopyDetectSimilarityAware: true}},
-			{"known copying groups", fusion.Options{KnownGroups: d.GroupMembers()}},
+			{"plain 2009 (paper's implementation)", d.FusionOpts(fusion.Options{CopyDetectPaper2009: true})},
+			{"popularity-aware + contested handling", d.FusionOpts(fusion.Options{})},
+			{"similarity-aware (Section 5 fix)", d.FusionOpts(fusion.Options{CopyDetectSimilarityAware: true})},
+			{"known copying groups", d.FusionOpts(fusion.Options{KnownGroups: d.GroupMembers()})},
 		}
 		base, _ := fusion.ByName("AccuFormat")
-		resBase := base.Run(p, fusion.Options{})
+		resBase := base.Run(p, d.FusionOpts(fusion.Options{}))
 		evBase := fusion.Evaluate(d.DS, p, resBase, d.Gold)
 		t.AddRow("(AccuFormat baseline, no copy handling)", report.F3(evBase.Precision),
 			fmt.Sprintf("%d", resBase.Rounds))
@@ -481,17 +479,16 @@ func ToleranceSweep(e *Env) *report.Report {
 		t := r.NewTable(d.Name, "Alpha", "Vote", "AccuFormatAttr")
 		for _, a := range alphas {
 			d.DS.ComputeTolerances(a, d.Snap)
-			prob := fusion.Build(d.DS, d.Snap, d.Fused,
-				fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true})
+			prob := fusion.Build(d.DS, d.Snap, d.Fused, d.BuildOpts())
 			gld := d.GoldFor(d.Snap)
 			mv, _ := fusion.ByName("Vote")
 			mf, _ := fusion.ByName("AccuFormatAttr")
-			rv := fusion.Evaluate(d.DS, prob, mv.Run(prob, fusion.Options{}), gld)
-			rf := fusion.Evaluate(d.DS, prob, mf.Run(prob, fusion.Options{}), gld)
+			rv := fusion.Evaluate(d.DS, prob, mv.Run(prob, d.FusionOpts(fusion.Options{})), gld)
+			rf := fusion.Evaluate(d.DS, prob, mf.Run(prob, d.FusionOpts(fusion.Options{})), gld)
 			t.AddRow(fmt.Sprintf("%.3f", a), report.F3(rv.Precision), report.F3(rf.Precision))
 		}
 		d.DS.ComputeTolerances(value.DefaultAlpha, d.Snap)
-		d.problem = nil // invalidate cache built under swept tolerances
+		d.InvalidateProblem() // cache was built under swept tolerances
 	}
 	r.Note("The paper fixes alpha = .01; the sweep shows how bucketing granularity shifts both baselines.")
 	return r

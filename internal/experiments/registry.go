@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
+	"truthdiscovery/internal/parallel"
 	"truthdiscovery/internal/report"
 )
 
@@ -10,40 +13,47 @@ import (
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(*Env) *report.Report
+	// Exclusive marks experiments that mutate the shared environment
+	// (re-deriving tolerances, invalidating domain caches). RunAll never
+	// overlaps them with any other experiment.
+	Exclusive bool
+	Run       func(*Env) *report.Report
 }
 
 // All returns every experiment in the paper's order, followed by the extra
 // design ablations.
 func All() []Experiment {
 	return []Experiment{
-		{"table1", "Overview of data collections", Table1},
-		{"table2", "Examined attributes for Stock", Table2},
-		{"figure1", "Attribute coverage", Figure1},
-		{"figure2", "Object redundancy", Figure2},
-		{"figure3", "Data-item redundancy", Figure3},
-		{"table3", "Value inconsistency on attributes", Table3},
-		{"figure4", "Value inconsistency distributions", Figure4},
-		{"figure5", "Disagreeing flight sources (anecdote)", Figure5},
-		{"figure6", "Reasons for value inconsistency", Figure6},
-		{"figure7", "Dominant values", Figure7},
-		{"table4", "Authoritative source accuracy and coverage", Table4},
-		{"figure8", "Source accuracy over time", Figure8},
-		{"table5", "Potential copying between sources", Table5},
-		{"table6", "Summary of data-fusion methods", Table6},
-		{"table7", "Fusion precision on one snapshot", Table7},
-		{"figure9", "Fusion recall as sources are added", Figure9},
-		{"figure10", "Precision vs dominance factor", Figure10},
-		{"table8", "Pairwise method comparison", Table8},
-		{"figure11", "Error analysis of the best method", Figure11},
-		{"figure12", "Fusion precision vs efficiency", Figure12},
-		{"table9", "Fusion precision over the collection period", Table9},
-		{"accucopy-ablation", "Copy-detection design ablation", AccuCopyAblation},
-		{"tolerance-sweep", "Tolerance factor ablation", ToleranceSweep},
-		{"ensemble", "Combining fusion models (Section 5)", EnsembleExperiment},
-		{"seed-trust", "Seeding trust from consistent items (Section 5)", SeedTrustExperiment},
-		{"category-trust", "Per-category source trust (Section 5)", CategoryTrustExperiment},
-		{"source-selection", "Greedy source selection (Section 5)", SourceSelectionExperiment},
+		{ID: "table1", Title: "Overview of data collections", Run: Table1},
+		{ID: "table2", Title: "Examined attributes for Stock", Run: Table2},
+		{ID: "figure1", Title: "Attribute coverage", Run: Figure1},
+		{ID: "figure2", Title: "Object redundancy", Run: Figure2},
+		{ID: "figure3", Title: "Data-item redundancy", Run: Figure3},
+		{ID: "table3", Title: "Value inconsistency on attributes", Run: Table3},
+		{ID: "figure4", Title: "Value inconsistency distributions", Run: Figure4},
+		{ID: "figure5", Title: "Disagreeing flight sources (anecdote)", Run: Figure5},
+		{ID: "figure6", Title: "Reasons for value inconsistency", Run: Figure6},
+		{ID: "figure7", Title: "Dominant values", Run: Figure7},
+		{ID: "table4", Title: "Authoritative source accuracy and coverage", Run: Table4},
+		{ID: "figure8", Title: "Source accuracy over time", Run: Figure8},
+		{ID: "table5", Title: "Potential copying between sources", Run: Table5},
+		{ID: "table6", Title: "Summary of data-fusion methods", Run: Table6},
+		{ID: "table7", Title: "Fusion precision on one snapshot", Run: Table7},
+		{ID: "figure9", Title: "Fusion recall as sources are added", Run: Figure9},
+		{ID: "figure10", Title: "Precision vs dominance factor", Run: Figure10},
+		{ID: "table8", Title: "Pairwise method comparison", Run: Table8},
+		{ID: "figure11", Title: "Error analysis of the best method", Run: Figure11},
+		{ID: "figure12", Title: "Fusion precision vs efficiency", Run: Figure12},
+		// Table 9 re-derives tolerances for every collection day and
+		// restores them afterwards; the sweep re-derives them per alpha.
+		// Both mutate the shared datasets, hence Exclusive.
+		{ID: "table9", Title: "Fusion precision over the collection period", Exclusive: true, Run: Table9},
+		{ID: "accucopy-ablation", Title: "Copy-detection design ablation", Run: AccuCopyAblation},
+		{ID: "tolerance-sweep", Title: "Tolerance factor ablation", Exclusive: true, Run: ToleranceSweep},
+		{ID: "ensemble", Title: "Combining fusion models (Section 5)", Run: EnsembleExperiment},
+		{ID: "seed-trust", Title: "Seeding trust from consistent items (Section 5)", Run: SeedTrustExperiment},
+		{ID: "category-trust", Title: "Per-category source trust (Section 5)", Run: CategoryTrustExperiment},
+		{ID: "source-selection", Title: "Greedy source selection (Section 5)", Run: SourceSelectionExperiment},
 	}
 }
 
@@ -55,4 +65,66 @@ func ByID(id string) (Experiment, error) {
 		}
 	}
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAll executes the experiments with at most `parallelism` running
+// concurrently (0 = GOMAXPROCS) and returns their reports in input
+// order, each annotated with its elapsed time. Experiments are
+// independent — they share the environment's domains read-only — except
+// those marked Exclusive, which never overlap with any other experiment:
+// with one worker everything simply runs in input order; otherwise the
+// Exclusive experiments are deferred until the concurrent batch has
+// fully drained and then run serially, still in input order among
+// themselves.
+func RunAll(env *Env, xs []Experiment, parallelism int) []*report.Report {
+	return RunAllStream(env, xs, parallelism, nil)
+}
+
+// RunAllStream is RunAll with progressive delivery: emit (when non-nil)
+// receives each report as soon as it and every report before it are
+// done, so callers can render incrementally while preserving input
+// order. emit is always called on one goroutine at a time.
+func RunAllStream(env *Env, xs []Experiment, parallelism int, emit func(*report.Report)) []*report.Report {
+	reports := make([]*report.Report, len(xs))
+	var mu sync.Mutex
+	emitted := 0
+	runOne := func(i int) {
+		start := time.Now()
+		rep := xs[i].Run(env)
+		rep.Note("elapsed: %s", time.Since(start).Round(time.Millisecond))
+		mu.Lock()
+		defer mu.Unlock()
+		reports[i] = rep
+		if emit != nil {
+			for emitted < len(reports) && reports[emitted] != nil {
+				emit(reports[emitted])
+				emitted++
+			}
+		}
+	}
+
+	if parallel.Workers(parallelism) <= 1 {
+		// One worker: nothing can overlap, so the Exclusive lane is
+		// unnecessary and every experiment runs strictly in input order.
+		for i := range xs {
+			runOne(i)
+		}
+		return reports
+	}
+
+	var concurrent []func()
+	var exclusive []int
+	for i := range xs {
+		if xs[i].Exclusive {
+			exclusive = append(exclusive, i)
+			continue
+		}
+		i := i
+		concurrent = append(concurrent, func() { runOne(i) })
+	}
+	parallel.Run(parallelism, concurrent)
+	for _, i := range exclusive {
+		runOne(i)
+	}
+	return reports
 }

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"truthdiscovery/internal/report"
+)
+
+// TestRunAllParallelMatchesSerial regenerates a mixed batch of
+// experiments — data-study tables, fusion-heavy exhibits and an
+// Exclusive tolerance-mutating ablation — both strictly serially and on
+// a 4-worker pool, from two fresh environments, and requires identical
+// tables in identical order. Under -race this also proves the shared
+// Env/Domain caching and the exclusive lane are sound.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	ids := []string{"table1", "table5", "table7", "figure7", "tolerance-sweep"}
+	var xs []Experiment
+	for _, id := range ids {
+		x, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, x)
+	}
+
+	serial := RunAll(NewEnv(tinyConfig()), xs, 1)
+	par := RunAll(NewEnv(tinyConfig()), xs, 4)
+
+	for i := range xs {
+		if serial[i] == nil || par[i] == nil {
+			t.Fatalf("experiment %s: missing report", ids[i])
+		}
+		if serial[i].ID != ids[i] || par[i].ID != ids[i] {
+			t.Fatalf("report %d out of order: %s / %s, want %s",
+				i, serial[i].ID, par[i].ID, ids[i])
+		}
+		// Notes carry wall-clock timings; the tables must be identical.
+		if !reflect.DeepEqual(serial[i].Tables, par[i].Tables) {
+			t.Errorf("experiment %s: tables differ between serial and parallel runs", ids[i])
+		}
+	}
+}
+
+// TestExclusiveMarking pins which experiments are allowed to mutate the
+// shared environment; adding a new mutating experiment without marking it
+// Exclusive is a RunAll data race waiting to happen.
+func TestExclusiveMarking(t *testing.T) {
+	want := map[string]bool{"table9": true, "tolerance-sweep": true}
+	for _, x := range All() {
+		if x.Exclusive != want[x.ID] {
+			t.Errorf("experiment %s: Exclusive = %v, want %v", x.ID, x.Exclusive, want[x.ID])
+		}
+	}
+}
+
+// TestRunAllStreamOrder asserts progressive delivery: reports arrive via
+// emit in input order, all of them, at both parallelism levels.
+func TestRunAllStreamOrder(t *testing.T) {
+	ids := []string{"table1", "table2", "table6", "figure1"}
+	var xs []Experiment
+	for _, id := range ids {
+		x, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, x)
+	}
+	for _, par := range []int{1, 4} {
+		var got []string
+		reports := RunAllStream(NewEnv(tinyConfig()), xs, par, func(r *report.Report) {
+			got = append(got, r.ID)
+		})
+		if len(reports) != len(ids) {
+			t.Fatalf("parallelism %d: %d reports", par, len(reports))
+		}
+		for i, id := range ids {
+			if got[i] != id {
+				t.Fatalf("parallelism %d: emit order %v, want %v", par, got, ids)
+			}
+		}
+	}
+}

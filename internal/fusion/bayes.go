@@ -3,6 +3,8 @@ package fusion
 import (
 	"math"
 	"time"
+
+	"truthdiscovery/internal/parallel"
 )
 
 // The Bayesian methods (Table 6): TRUTHFINDER plus the ACCU family
@@ -43,24 +45,29 @@ func (TruthFinder) Run(p *Problem, opts Options) *Result {
 
 	for round := 1; ; round++ {
 		res.Rounds = round
-		for i := range p.Items {
-			it := &p.Items[i]
-			raw := make([]float64, len(it.Buckets))
-			for b, bk := range it.Buckets {
-				for _, s := range bk.Sources {
-					raw[b] += -math.Log(1 - math.Min(tau[s], tfMaxTau))
-				}
-			}
-			for b := range it.Buckets {
-				adj := raw[b]
-				for b2 := range it.Buckets {
-					if b2 != b {
-						adj += tfRho * float64(p.Sim[i][b][b2]) * raw[b2]
+		// Per-item confidence phase: every item only reads the shared tau
+		// and writes its own conf[i] row, so the loop fans out with
+		// bit-identical results at any parallelism.
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := &p.Items[i]
+				raw := make([]float64, len(it.Buckets))
+				for b, bk := range it.Buckets {
+					for _, s := range bk.Sources {
+						raw[b] += -math.Log(1 - math.Min(tau[s], tfMaxTau))
 					}
 				}
-				conf[i][b] = 1 / (1 + math.Exp(-tfGamma*adj))
+				for b := range it.Buckets {
+					adj := raw[b]
+					for b2 := range it.Buckets {
+						if b2 != b {
+							adj += tfRho * float64(p.Sim[i][b][b2]) * raw[b2]
+						}
+					}
+					conf[i][b] = 1 / (1 + math.Exp(-tfGamma*adj))
+				}
 			}
-		}
+		})
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
@@ -297,59 +304,64 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 		if weigh != nil {
 			weights = weigh(round, trust, probs, chosen)
 		}
-		for i := range p.Items {
-			it := &p.Items[i]
-			scores := probs[i]
-			m := float64(it.Providers)
-			for b, bk := range it.Buckets {
-				var l float64
-				for k, s := range bk.Sources {
-					a := clampTrust(trust.of(s, keyOf(i)), 0.01, 0.99)
-					w := 1.0
-					if weights != nil {
-						w = weights[i][b][k]
+		// Per-item posterior phase: item i reads the (stable) trust state
+		// and claim weights and writes only probs[i] and chosen[i], so the
+		// loop fans out with bit-identical results at any parallelism.
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := &p.Items[i]
+				scores := probs[i]
+				m := float64(it.Providers)
+				for b, bk := range it.Buckets {
+					var l float64
+					for k, s := range bk.Sources {
+						a := clampTrust(trust.of(s, keyOf(i)), 0.01, 0.99)
+						w := 1.0
+						if weights != nil {
+							w = weights[i][b][k]
+						}
+						if cfg.popularity {
+							l += w * math.Log(a/(1-a))
+						} else {
+							l += w * (logN + math.Log(a/(1-a)))
+						}
 					}
 					if cfg.popularity {
-						l += w * math.Log(a/(1-a))
-					} else {
-						l += w * (logN + math.Log(a/(1-a)))
-					}
-				}
-				if cfg.popularity {
-					// Non-providers of b supply false values whose
-					// popularity is their provider share among the
-					// remaining sources (Dong, Saha, Srivastava).
-					for b2, bk2 := range it.Buckets {
-						if b2 == b {
-							continue
-						}
-						pop := float64(len(bk2.Sources)) / math.Max(1, m-float64(len(bk.Sources)))
-						l += float64(len(bk2.Sources)) * math.Log(math.Max(pop, 1e-9))
-					}
-				}
-				scores[b] = l
-			}
-			if cfg.sim {
-				boosted := make([]float64, len(it.Buckets))
-				for b := range it.Buckets {
-					boost := scores[b]
-					for b2 := range it.Buckets {
-						if b2 != b {
-							boost += opts.SimWeight * float64(p.Sim[i][b][b2]) * scores[b2]
+						// Non-providers of b supply false values whose
+						// popularity is their provider share among the
+						// remaining sources (Dong, Saha, Srivastava).
+						for b2, bk2 := range it.Buckets {
+							if b2 == b {
+								continue
+							}
+							pop := float64(len(bk2.Sources)) / math.Max(1, m-float64(len(bk.Sources)))
+							l += float64(len(bk2.Sources)) * math.Log(math.Max(pop, 1e-9))
 						}
 					}
-					boosted[b] = boost
+					scores[b] = l
 				}
-				copy(scores, boosted)
-			}
-			if cfg.format && p.Format != nil {
-				for _, fp := range p.Format[i] {
-					scores[fp.Fine] += opts.SimWeight * math.Max(scores[fp.Coarse], 0)
+				if cfg.sim {
+					boosted := make([]float64, len(it.Buckets))
+					for b := range it.Buckets {
+						boost := scores[b]
+						for b2 := range it.Buckets {
+							if b2 != b {
+								boost += opts.SimWeight * float64(p.Sim[i][b][b2]) * scores[b2]
+							}
+						}
+						boosted[b] = boost
+					}
+					copy(scores, boosted)
 				}
+				if cfg.format && p.Format != nil {
+					for _, fp := range p.Format[i] {
+						scores[fp.Fine] += opts.SimWeight * math.Max(scores[fp.Coarse], 0)
+					}
+				}
+				softmaxInPlace(scores)
+				chosen[i] = argmax32(scores)
 			}
-			softmaxInPlace(scores)
-			chosen[i] = argmax32(scores)
-		}
+		})
 
 		if trustGiven {
 			// With sampled trust there is no estimation loop; ACCUCOPY

@@ -6,6 +6,7 @@ import (
 
 	"truthdiscovery/internal/copydetect"
 	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/parallel"
 	"truthdiscovery/internal/value"
 )
 
@@ -66,7 +67,7 @@ func (AccuCopy) Run(p *Problem, opts Options) *Result {
 			}
 		}
 		dep := detectOnProblem(p, chosen, probs, acc, opts)
-		frozen = independenceWeights(p, acc, dep)
+		frozen = independenceWeights(p, acc, dep, opts.Parallelism)
 		return frozen
 	})
 	res.Elapsed = time.Since(start)
@@ -79,83 +80,98 @@ func (AccuCopy) Run(p *Problem, opts Options) *Result {
 // shared-false evidence by how confidently false the shared value is.
 func detectOnProblem(p *Problem, chosen []int32, probs [][]float64, acc []float64, opts Options) [][]float64 {
 	obs := make([]copydetect.Observation, len(p.Items))
-	for i := range p.Items {
-		it := &p.Items[i]
-		o := copydetect.Observation{
-			Sources:   make([]int32, 0, it.Providers),
-			Buckets:   make([]int32, 0, it.Providers),
-			Truthy:    make([]bool, 0, it.Providers),
-			Pop:       make([]float64, 0, it.Providers),
-			Contested: make([]bool, 0, it.Providers),
+	// Each item's observation is assembled independently (disjoint obs[i]
+	// writes), so the loop fans out bit-identically at any parallelism.
+	parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buildObservation(p, i, chosen, probs, opts, &obs[i])
 		}
-		if probs != nil {
-			o.FalseW = make([]float64, 0, it.Providers)
-		}
-		truthRep := it.Buckets[chosen[i]].Rep
-		chosenSupport := len(it.Buckets[chosen[i]].Sources)
-		for b, bk := range it.Buckets {
-			truthy := int32(b) == chosen[i]
-			if !truthy && opts.CopyDetectSimilarityAware {
-				// Section 5 fix: values within a few tolerance bands of the
-				// chosen truth count as true for detection purposes.
-				truthy = value.Equal(bk.Rep, truthRep, 3*it.Tol)
-			}
-			// A value whose support rivals the winner's is contested — it
-			// may well be the truth (fusion flips such items between
-			// rounds), so sharing it yields no shared-false evidence.
-			// Without this, every pair of accurate sources gets flagged on
-			// the items where the dominant value is wrong. The plain 2009
-			// detector has no such notion.
-			contested := !truthy && 2*len(bk.Sources) >= chosenSupport &&
-				!opts.CopyDetectPaper2009
-			pop := float64(len(bk.Sources)) / float64(it.Providers)
-			for _, s := range bk.Sources {
-				o.Sources = append(o.Sources, s)
-				o.Buckets = append(o.Buckets, int32(b))
-				o.Truthy = append(o.Truthy, truthy)
-				o.Pop = append(o.Pop, pop)
-				o.Contested = append(o.Contested, contested)
-				if probs != nil {
-					o.FalseW = append(o.FalseW, 1-probs[i][b])
-				}
-			}
-		}
-		obs[i] = o
-	}
+	})
 	return copydetect.Detect(len(p.SourceIDs), obs, acc, copydetect.Options{
 		NFalse:       opts.NFalse,
 		UniformFalse: opts.CopyDetectPaper2009,
+		Parallelism:  opts.Parallelism,
 	})
+}
+
+// buildObservation converts item i's buckets plus the current truth
+// assignment into one copy-detection observation.
+func buildObservation(p *Problem, i int, chosen []int32, probs [][]float64, opts Options, out *copydetect.Observation) {
+	it := &p.Items[i]
+	o := copydetect.Observation{
+		Sources:   make([]int32, 0, it.Providers),
+		Buckets:   make([]int32, 0, it.Providers),
+		Truthy:    make([]bool, 0, it.Providers),
+		Pop:       make([]float64, 0, it.Providers),
+		Contested: make([]bool, 0, it.Providers),
+	}
+	if probs != nil {
+		o.FalseW = make([]float64, 0, it.Providers)
+	}
+	truthRep := it.Buckets[chosen[i]].Rep
+	chosenSupport := len(it.Buckets[chosen[i]].Sources)
+	for b, bk := range it.Buckets {
+		truthy := int32(b) == chosen[i]
+		if !truthy && opts.CopyDetectSimilarityAware {
+			// Section 5 fix: values within a few tolerance bands of the
+			// chosen truth count as true for detection purposes.
+			truthy = value.Equal(bk.Rep, truthRep, 3*it.Tol)
+		}
+		// A value whose support rivals the winner's is contested — it
+		// may well be the truth (fusion flips such items between
+		// rounds), so sharing it yields no shared-false evidence.
+		// Without this, every pair of accurate sources gets flagged on
+		// the items where the dominant value is wrong. The plain 2009
+		// detector has no such notion.
+		contested := !truthy && 2*len(bk.Sources) >= chosenSupport &&
+			!opts.CopyDetectPaper2009
+		pop := float64(len(bk.Sources)) / float64(it.Providers)
+		for _, s := range bk.Sources {
+			o.Sources = append(o.Sources, s)
+			o.Buckets = append(o.Buckets, int32(b))
+			o.Truthy = append(o.Truthy, truthy)
+			o.Pop = append(o.Pop, pop)
+			o.Contested = append(o.Contested, contested)
+			if probs != nil {
+				o.FalseW = append(o.FalseW, 1-probs[i][b])
+			}
+		}
+	}
+	*out = o
 }
 
 // independenceWeights orders each bucket's providers by descending accuracy
 // and weighs provider k by prod_{j<k} (1 - c*dep(k, j)): the probability it
-// provided the value independently of the higher-trust providers.
-func independenceWeights(p *Problem, acc []float64, dep [][]float64) claimWeights {
+// provided the value independently of the higher-trust providers. Items are
+// weighted independently (disjoint w[i] writes), so the loop fans out
+// bit-identically at any parallelism.
+func independenceWeights(p *Problem, acc []float64, dep [][]float64, parallelism int) claimWeights {
 	w := make(claimWeights, len(p.Items))
-	for i := range p.Items {
-		it := &p.Items[i]
-		w[i] = make([][]float64, len(it.Buckets))
-		for b, bk := range it.Buckets {
-			order := make([]int, len(bk.Sources))
-			for k := range order {
-				order[k] = k
-			}
-			sort.SliceStable(order, func(x, y int) bool {
-				return acc[bk.Sources[order[x]]] > acc[bk.Sources[order[y]]]
-			})
-			weights := make([]float64, len(bk.Sources))
-			for rank, k := range order {
-				wt := 1.0
-				for rank2 := 0; rank2 < rank; rank2++ {
-					j := order[rank2]
-					wt *= 1 - copyVoteRate*dep[bk.Sources[k]][bk.Sources[j]]
+	parallel.For(len(p.Items), parallelism, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := &p.Items[i]
+			w[i] = make([][]float64, len(it.Buckets))
+			for b, bk := range it.Buckets {
+				order := make([]int, len(bk.Sources))
+				for k := range order {
+					order[k] = k
 				}
-				weights[k] = wt
+				sort.SliceStable(order, func(x, y int) bool {
+					return acc[bk.Sources[order[x]]] > acc[bk.Sources[order[y]]]
+				})
+				weights := make([]float64, len(bk.Sources))
+				for rank, k := range order {
+					wt := 1.0
+					for rank2 := 0; rank2 < rank; rank2++ {
+						j := order[rank2]
+						wt *= 1 - copyVoteRate*dep[bk.Sources[k]][bk.Sources[j]]
+					}
+					weights[k] = wt
+				}
+				w[i][b] = weights
 			}
-			w[i][b] = weights
 		}
-	}
+	})
 	return w
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/parallel"
 	"truthdiscovery/internal/value"
 )
 
@@ -73,6 +74,11 @@ type FormatPair struct {
 type BuildOptions struct {
 	NeedSimilarity bool
 	NeedFormat     bool
+	// Parallelism bounds the workers used to build the similarity and
+	// format structures (0 = GOMAXPROCS, 1 = serial). The structures are
+	// identical at any setting — each item's matrices are computed
+	// independently.
+	Parallelism int
 }
 
 // Build constructs the fusion problem from a snapshot, keeping only claims
@@ -144,40 +150,51 @@ func Build(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID, op
 		p.Cats = append(p.Cats, cat)
 	}
 
+	buildAux(p, opts)
+	return p
+}
+
+// buildAux fills the similarity and format structures. Each item's
+// matrices are independent, so the per-item loop fans out across the
+// configured workers with disjoint writes (parallel == serial exactly).
+func buildAux(p *Problem, opts BuildOptions) {
 	if opts.NeedSimilarity {
 		p.Sim = make([][][]float32, len(p.Items))
-		for i := range p.Items {
-			it := &p.Items[i]
-			n := len(it.Buckets)
-			sim := make([][]float32, n)
-			for a := 0; a < n; a++ {
-				sim[a] = make([]float32, n)
-				for b := 0; b < n; b++ {
-					if a == b {
-						continue
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := &p.Items[i]
+				n := len(it.Buckets)
+				sim := make([][]float32, n)
+				for a := 0; a < n; a++ {
+					sim[a] = make([]float32, n)
+					for b := 0; b < n; b++ {
+						if a == b {
+							continue
+						}
+						sim[a][b] = float32(value.Similarity(it.Buckets[a].Rep, it.Buckets[b].Rep, it.Tol))
 					}
-					sim[a][b] = float32(value.Similarity(it.Buckets[a].Rep, it.Buckets[b].Rep, it.Tol))
 				}
+				p.Sim[i] = sim
 			}
-			p.Sim[i] = sim
-		}
+		})
 	}
 	if opts.NeedFormat {
 		p.Format = make([][]FormatPair, len(p.Items))
-		for i := range p.Items {
-			it := &p.Items[i]
-			var pairs []FormatPair
-			for a := range it.Buckets {
-				for b := range it.Buckets {
-					if a != b && value.RoundsTo(it.Buckets[a].Rep, it.Buckets[b].Rep) {
-						pairs = append(pairs, FormatPair{Fine: int32(a), Coarse: int32(b)})
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := &p.Items[i]
+				var pairs []FormatPair
+				for a := range it.Buckets {
+					for b := range it.Buckets {
+						if a != b && value.RoundsTo(it.Buckets[a].Rep, it.Buckets[b].Rep) {
+							pairs = append(pairs, FormatPair{Fine: int32(a), Coarse: int32(b)})
+						}
 					}
 				}
+				p.Format[i] = pairs
 			}
-			p.Format[i] = pairs
-		}
+		})
 	}
-	return p
 }
 
 // Options configures one fusion run.
@@ -185,6 +202,14 @@ type Options struct {
 	// MaxRounds and Epsilon bound the iteration (defaults 100 and 1e-6).
 	MaxRounds int
 	Epsilon   float64
+	// Parallelism bounds the workers used for the per-item vote/posterior
+	// phase of each iteration and for copy detection (0 = GOMAXPROCS,
+	// 1 = serial: no goroutines spawned). Results are bit-identical at
+	// any setting: the parallel phases only ever write disjoint per-item
+	// state, and floating-point reductions (trust re-estimation, the
+	// detector's chunk merge) run in a fixed order that never depends on
+	// the worker count.
+	Parallelism int
 	// InputTrust, when non-nil, supplies the sampled source trustworthiness
 	// (in the method's own scale, per SampleTrust) and disables the trust
 	// re-estimation loop — the paper's "prec w. trust" columns.

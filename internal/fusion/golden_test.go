@@ -188,3 +188,45 @@ func TestGoldenEnsembleMajority(t *testing.T) {
 		t.Error("ensemble must follow the unanimous members on item 0")
 	}
 }
+
+// TestGoldenParallelismOne is the regression guard the parallel layer is
+// held to: Parallelism 1 must reproduce the default-options outputs of
+// every method on the golden fixture exactly, and the hand-derived golden
+// numbers must hold on the serial path.
+func TestGoldenParallelismOne(t *testing.T) {
+	p := goldenProblem(t)
+	methods := Methods()
+	methods = append(methods, ExtensionMethods()...)
+	for _, m := range methods {
+		def := m.Run(p, Options{})
+		serial := m.Run(p, Options{Parallelism: 1})
+		if def.Rounds != serial.Rounds || def.Converged != serial.Converged {
+			t.Fatalf("%s: rounds/converged diverge under Parallelism 1", m.Name())
+		}
+		for i := range def.Chosen {
+			if def.Chosen[i] != serial.Chosen[i] {
+				t.Fatalf("%s: chosen[%d] = %d (default) vs %d (serial)",
+					m.Name(), i, def.Chosen[i], serial.Chosen[i])
+			}
+		}
+		for s := range def.Trust {
+			if def.Trust[s] != serial.Trust[s] {
+				t.Fatalf("%s: trust[%d] = %v (default) vs %v (serial)",
+					m.Name(), s, def.Trust[s], serial.Trust[s])
+			}
+		}
+	}
+
+	// The hand-derived golden numbers must hold on the serial path too.
+	res := Hub{}.Run(p, Options{MaxRounds: 1, Parallelism: 1})
+	want := []float64{1, 2.0 / 3, 2.0 / 3}
+	for s, w := range want {
+		if math.Abs(res.Trust[s]-w) > 1e-12 {
+			t.Errorf("Hub serial trust[%d] = %v, want %v", s, res.Trust[s], w)
+		}
+	}
+	acc := AccuPr{}.Run(p, Options{InputTrust: []float64{0.9, 0.6, 0.6}, NFalse: 50, Parallelism: 1})
+	if acc.Chosen[0] != 0 || p.Items[1].Buckets[acc.Chosen[1]].Rep.Num != 30 {
+		t.Error("AccuPr golden choices diverge under Parallelism 1")
+	}
+}

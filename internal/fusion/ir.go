@@ -3,6 +3,8 @@ package fusion
 import (
 	"math"
 	"time"
+
+	"truthdiscovery/internal/parallel"
 )
 
 // The IR-based methods of Galland et al. (Table 6): COSINE, 2-ESTIMATES and
@@ -49,26 +51,29 @@ func (Cosine) Run(p *Problem, opts Options) *Result {
 	for round := 1; ; round++ {
 		res.Rounds = round
 		// Truth scores in [-1, 1]: cubic positive mass minus cubic negative
-		// mass over the item's total cubic mass.
-		for i := range p.Items {
-			it := &p.Items[i]
-			var total float64
-			cub := make([]float64, len(it.Buckets))
-			for b, bk := range it.Buckets {
-				for _, s := range bk.Sources {
-					w := trust[s] * trust[s] * trust[s]
-					cub[b] += w
-					total += math.Abs(w)
+		// mass over the item's total cubic mass. Disjoint scores[i] writes,
+		// so the loop fans out bit-identically at any parallelism.
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := &p.Items[i]
+				var total float64
+				cub := make([]float64, len(it.Buckets))
+				for b, bk := range it.Buckets {
+					for _, s := range bk.Sources {
+						w := trust[s] * trust[s] * trust[s]
+						cub[b] += w
+						total += math.Abs(w)
+					}
+				}
+				for b := range it.Buckets {
+					if total > 0 {
+						scores[i][b] = (cub[b] - (sum(cub) - cub[b])) / total
+					} else {
+						scores[i][b] = 0
+					}
 				}
 			}
-			for b := range it.Buckets {
-				if total > 0 {
-					scores[i][b] = (cub[b] - (sum(cub) - cub[b])) / total
-				} else {
-					scores[i][b] = 0
-				}
-			}
-		}
+		})
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break

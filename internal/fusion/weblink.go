@@ -3,6 +3,8 @@ package fusion
 import (
 	"math"
 	"time"
+
+	"truthdiscovery/internal/parallel"
 )
 
 // The Web-link based methods (Table 6): HUB, AVGLOG, INVEST, POOLEDINVEST.
@@ -32,15 +34,7 @@ func (Hub) Run(p *Problem, opts Options) *Result {
 	res := &Result{Method: "Hub"}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		for i := range p.Items {
-			for b, bk := range p.Items[i].Buckets {
-				var v float64
-				for _, s := range bk.Sources {
-					v += trust[s]
-				}
-				votes[i][b] = v
-			}
-		}
+		voteRound(p, opts.Parallelism, trust, votes)
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
@@ -88,15 +82,7 @@ func (AvgLog) Run(p *Problem, opts Options) *Result {
 	res := &Result{Method: "AvgLog"}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		for i := range p.Items {
-			for b, bk := range p.Items[i].Buckets {
-				var v float64
-				for _, s := range bk.Sources {
-					v += trust[s]
-				}
-				votes[i][b] = v
-			}
-		}
+		voteRound(p, opts.Parallelism, trust, votes)
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
@@ -182,32 +168,36 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 	res := &Result{Method: name}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		for i := range p.Items {
-			it := &p.Items[i]
-			var pool float64
-			for b, bk := range it.Buckets {
-				var inv float64
-				for _, s := range bk.Sources {
-					if c := p.ClaimsPerSource[s]; c > 0 {
-						inv += trust[s] / float64(c)
+		// Per-item investment phase: disjoint writes to invested[i] and
+		// votes[i], bit-identical at any parallelism.
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := &p.Items[i]
+				var pool float64
+				for b, bk := range it.Buckets {
+					var inv float64
+					for _, s := range bk.Sources {
+						if c := p.ClaimsPerSource[s]; c > 0 {
+							inv += trust[s] / float64(c)
+						}
 					}
+					invested[i][b] = inv
+					votes[i][b] = math.Pow(inv, investExponent)
+					pool += inv
 				}
-				invested[i][b] = inv
-				votes[i][b] = math.Pow(inv, investExponent)
-				pool += inv
-			}
-			if pooled {
-				var sum float64
-				for b := range it.Buckets {
-					sum += votes[i][b]
-				}
-				if sum > 0 {
+				if pooled {
+					var sum float64
 					for b := range it.Buckets {
-						votes[i][b] *= pool / sum
+						sum += votes[i][b]
+					}
+					if sum > 0 {
+						for b := range it.Buckets {
+							votes[i][b] *= pool / sum
+						}
 					}
 				}
 			}
-		}
+		})
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
@@ -240,6 +230,23 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 	res.Chosen = choose(p, votes)
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// voteRound computes one round of trust-mass votes (HUB and AVGLOG share
+// it): vote(i, b) = sum of provider trust. Item rows are written
+// disjointly, so the loop fans out bit-identically at any parallelism.
+func voteRound(p *Problem, parallelism int, trust []float64, votes [][]float64) {
+	parallel.For(len(p.Items), parallelism, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for b, bk := range p.Items[i].Buckets {
+				var v float64
+				for _, s := range bk.Sources {
+					v += trust[s]
+				}
+				votes[i][b] = v
+			}
+		}
+	})
 }
 
 // initTrust returns the starting trust vector: the supplied input trust

@@ -1,0 +1,199 @@
+// Package parallel is the repository's bounded work-stealing execution
+// layer. The fusion iterations, the pairwise copy detector and the
+// experiment harness all fan out through it.
+//
+// The design goal is determinism first: every primitive here distributes
+// *index ranges*, never data, so callers can arrange their writes to be
+// disjoint per index (fusion's per-item vote loops) or to merge partial
+// results in a fixed order (copy detection's chunk accumulator). Under
+// that discipline a run with Parallelism 1 and a run with Parallelism N
+// produce bit-identical results — which the equivalence tests in the
+// fusion and copydetect packages assert on the calibrated simulators.
+//
+// Scheduling: [0, n) is split into one contiguous span per worker. A
+// worker repeatedly claims a chunk from the front of its own span
+// (adaptive grain: a quarter of the remainder, so claims shrink toward 1
+// as the span drains); when its span is empty it steals from the back
+// half of the busiest remaining span. All claims are CAS transitions on
+// one packed word per span, so every index is processed exactly once no
+// matter how claims race.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob to a worker count: 0 (and any
+// negative value) selects GOMAXPROCS, anything else is taken literally.
+// This is the convention every Parallelism option in the module follows
+// (0 = machine width, 1 = exact serial path).
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// span is one worker's remaining index range, packed as begin<<32 | end
+// in a single atomic word so both owner claims (front) and steals (back)
+// are lock-free CAS transitions. The padding keeps neighbouring spans off
+// one cache line.
+type span struct {
+	state atomic.Uint64
+	_     [56]byte
+}
+
+func pack(begin, end int) uint64 { return uint64(begin)<<32 | uint64(end) }
+
+func unpack(v uint64) (begin, end int) {
+	return int(v >> 32), int(v & 0xffffffff)
+}
+
+// maxN bounds For's range so begin/end fit the packed representation.
+const maxN = 1<<31 - 1
+
+// For invokes body over disjoint half-open chunks [lo, hi) that exactly
+// cover [0, n), using up to `parallelism` workers (Workers convention).
+// body must be safe to call concurrently on disjoint ranges; For returns
+// once every index has been processed. With one worker (or n <= 1) body
+// runs inline on the calling goroutine as a single body(0, n) call — the
+// exact serial code path, with no goroutines spawned.
+//
+// A panic in body is re-raised on the calling goroutine after all workers
+// have drained.
+func For(n, parallelism int, body func(lo, hi int)) {
+	forGrain(n, parallelism, 0, body)
+}
+
+// Run executes every task, at most `parallelism` at a time (Workers
+// convention). Tasks are claimed with grain 1, so long tasks never trap
+// queued short ones behind them — the right shape for coarse units like
+// whole experiments. With one worker the tasks run inline in order.
+func Run(parallelism int, tasks []func()) {
+	forGrain(len(tasks), parallelism, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tasks[i]()
+		}
+	})
+}
+
+// forGrain is the shared scheduler. maxGrain caps how many indices one
+// claim may take (0 = no cap beyond the adaptive quarter rule).
+func forGrain(n, parallelism, maxGrain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if n > maxN {
+		panic(fmt.Sprintf("parallel: range %d exceeds max %d", n, maxN))
+	}
+	workers := Workers(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+
+	spans := make([]span, workers)
+	for w := 0; w < workers; w++ {
+		spans[w].state.Store(pack(w*n/workers, (w+1)*n/workers))
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[workerPanic]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &workerPanic{val: r})
+				}
+			}()
+			work(spans, self, maxGrain, body)
+		}(w)
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
+}
+
+// workerPanic carries the first panic value out of the pool.
+type workerPanic struct{ val any }
+
+// work drains the worker's own span, then steals until no span holds work.
+func work(spans []span, self int, maxGrain int, body func(lo, hi int)) {
+	for {
+		if lo, hi, ok := take(&spans[self], maxGrain); ok {
+			body(lo, hi)
+			continue
+		}
+		if !steal(spans, self) {
+			return
+		}
+	}
+}
+
+// take claims a chunk from the front of the span: a quarter of the
+// remainder (at least 1, at most maxGrain when set), so early claims are
+// large for low overhead and late claims are small for balance.
+func take(s *span, maxGrain int) (lo, hi int, ok bool) {
+	for {
+		old := s.state.Load()
+		begin, end := unpack(old)
+		if begin >= end {
+			return 0, 0, false
+		}
+		g := (end - begin + 3) / 4
+		if maxGrain > 0 && g > maxGrain {
+			g = maxGrain
+		}
+		if s.state.CompareAndSwap(old, pack(begin+g, end)) {
+			return begin, begin + g, true
+		}
+	}
+}
+
+// steal moves the back half of the busiest remaining span into the
+// thief's own (empty) span and reports whether any work was found. The
+// victim keeps its front half, preserving its locality. Between the
+// victim CAS and the thief's own-span store the stolen range is invisible
+// to third parties; that can only make another worker retire early, never
+// lose the range, because the thief still owns and processes it.
+func steal(spans []span, self int) bool {
+	for {
+		victim, best := -1, 0
+		for i := range spans {
+			if i == self {
+				continue
+			}
+			b, e := unpack(spans[i].state.Load())
+			if e-b > best {
+				best, victim = e-b, i
+			}
+		}
+		if victim < 0 {
+			return false
+		}
+		old := spans[victim].state.Load()
+		b, e := unpack(old)
+		if b >= e {
+			continue // drained while we chose it; rescan
+		}
+		mid := b + (e-b)/2 // steal [mid, e); a 1-element span moves whole
+		if !spans[victim].state.CompareAndSwap(old, pack(b, mid)) {
+			continue
+		}
+		// Only this thief writes to its own empty span, and no one steals
+		// from an empty span, so a plain store is safe.
+		spans[self].state.Store(pack(mid, e))
+		return true
+	}
+}

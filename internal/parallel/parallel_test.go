@@ -1,0 +1,164 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForCoversEveryIndexExactlyOnce drives For across range sizes and
+// worker counts, including sizes that don't divide evenly and worker
+// counts exceeding both GOMAXPROCS and n.
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000, 4097} {
+		for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+			hits := make([]int32, n)
+			For(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d w=%d: bad chunk [%d, %d)", n, workers, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d processed %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestForSerialIsInline asserts the Parallelism-1 contract: one body call
+// covering the whole range, on the calling goroutine.
+func TestForSerialIsInline(t *testing.T) {
+	calls := 0
+	var lo, hi int
+	For(100, 1, func(l, h int) {
+		calls++
+		lo, hi = l, h
+	})
+	if calls != 1 || lo != 0 || hi != 100 {
+		t.Fatalf("serial path: %d calls, last [%d, %d); want one call [0, 100)", calls, lo, hi)
+	}
+}
+
+// TestForStealingBalancesSkewedWork front-loads all the work into the
+// first indices so workers whose spans are trivial must steal to finish;
+// the test passes only if every index is still processed exactly once.
+func TestForStealingBalancesSkewedWork(t *testing.T) {
+	const n = 256
+	hits := make([]int32, n)
+	For(n, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i < 8 {
+				time.Sleep(2 * time.Millisecond) // skew: early indices are slow
+			}
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d processed %d times", i, h)
+		}
+	}
+}
+
+// TestForPanicPropagates verifies a worker panic reaches the caller after
+// the pool drains, instead of crashing the process from a goroutine.
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(64, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 13 {
+				panic("boom")
+			}
+		}
+	})
+	t.Fatal("For returned instead of panicking")
+}
+
+// TestRunExecutesEveryTaskWithBoundedConcurrency tracks the concurrency
+// high-water mark and asserts it never exceeds the requested bound.
+func TestRunExecutesEveryTaskWithBoundedConcurrency(t *testing.T) {
+	const tasks, bound = 40, 3
+	var (
+		active, peak int32
+		done         [tasks]int32
+	)
+	fns := make([]func(), tasks)
+	for i := range fns {
+		i := i
+		fns[i] = func() {
+			cur := atomic.AddInt32(&active, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt32(&done[i], 1)
+			atomic.AddInt32(&active, -1)
+		}
+	}
+	Run(bound, fns)
+	for i := range done {
+		if done[i] != 1 {
+			t.Fatalf("task %d ran %d times", i, done[i])
+		}
+	}
+	if peak > bound {
+		t.Fatalf("concurrency peaked at %d, bound %d", peak, bound)
+	}
+}
+
+// TestRunSerialOrder: with one worker the tasks must run in order (the
+// serial legacy path truthbench -parallel=1 relies on).
+func TestRunSerialOrder(t *testing.T) {
+	var got []int
+	var mu sync.Mutex
+	fns := make([]func(), 10)
+	for i := range fns {
+		i := i
+		fns[i] = func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+		}
+	}
+	Run(1, fns)
+	for i, g := range got {
+		if g != i {
+			t.Fatalf("serial Run order = %v", got)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(-3); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(5); w != 5 {
+		t.Errorf("Workers(5) = %d", w)
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	for _, c := range [][2]int{{0, 0}, {0, 1}, {5, 9}, {0, maxN}, {maxN - 1, maxN}} {
+		b, e := unpack(pack(c[0], c[1]))
+		if b != c[0] || e != c[1] {
+			t.Errorf("pack/unpack(%v) = (%d, %d)", c, b, e)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package truthdiscovery
+
+import (
+	"math"
+	"testing"
+
+	"truthdiscovery/internal/datagen"
+	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/gold"
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// The parallel execution layer promises bit-identical results to the
+// serial path: the per-item phases only write disjoint state and every
+// floating-point reduction runs in a fixed order independent of the
+// worker count. These tests assert that promise end to end — problem
+// construction, all sixteen fusion methods, copy detection and public
+// Fuse — on reduced but calibrated Stock and Flight worlds. CI runs them
+// under -race, which also proves the fan-out is data-race free.
+
+type equivWorld struct {
+	name  string
+	ds    *model.Dataset
+	snap  *model.Snapshot
+	gld   *model.TruthTable
+	fused []model.SourceID
+}
+
+func equivWorlds(t *testing.T) []equivWorld {
+	t.Helper()
+	scfg := datagen.DefaultStockConfig(3)
+	scfg.Stocks = 120
+	scfg.GoldSymbols = 60
+	scfg.Days = 2
+	sgen := datagen.NewStock(scfg)
+	sds := sgen.Dataset()
+	ssnap := sgen.Snapshot(1)
+	sds.AddSnapshot(ssnap)
+	sds.ComputeTolerances(value.DefaultAlpha, ssnap)
+
+	fcfg := datagen.DefaultFlightConfig(3)
+	fcfg.Flights = 200
+	fcfg.GoldFlights = 60
+	fcfg.Days = 2
+	fgen := datagen.NewFlight(fcfg)
+	fds := fgen.Dataset()
+	fsnap := fgen.Snapshot(1)
+	fds.AddSnapshot(fsnap)
+	fds.ComputeTolerances(value.DefaultAlpha, fsnap)
+
+	return []equivWorld{
+		{"Stock", sds, ssnap, gold.ForGenerated(sgen, ssnap), sgen.FusedSources()},
+		{"Flight", fds, fsnap, gold.ForGenerated(fgen, fsnap), fgen.FusedSources()},
+	}
+}
+
+// sameFloats demands exact equality — parallel and serial must agree to
+// the last bit, not within a tolerance.
+func sameFloats(t *testing.T, ctx string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", ctx, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			t.Fatalf("%s[%d]: %v != %v", ctx, i, a[i], b[i])
+		}
+	}
+}
+
+func sameResults(t *testing.T, ctx string, serial, par *fusion.Result) {
+	t.Helper()
+	if serial.Rounds != par.Rounds || serial.Converged != par.Converged {
+		t.Fatalf("%s: rounds/converged %d/%v vs %d/%v",
+			ctx, serial.Rounds, serial.Converged, par.Rounds, par.Converged)
+	}
+	for i := range serial.Chosen {
+		if serial.Chosen[i] != par.Chosen[i] {
+			t.Fatalf("%s: chosen[%d] = %d vs %d", ctx, i, serial.Chosen[i], par.Chosen[i])
+		}
+	}
+	sameFloats(t, ctx+" trust", serial.Trust, par.Trust)
+	if (serial.AttrTrust == nil) != (par.AttrTrust == nil) {
+		t.Fatalf("%s: attr trust presence differs", ctx)
+	}
+	for s := range serial.AttrTrust {
+		sameFloats(t, ctx+" attrTrust", serial.AttrTrust[s], par.AttrTrust[s])
+	}
+}
+
+// TestParallelMatchesSerialAllMethods runs every method of the paper's
+// roster (and the Section 5 extensions) serially and with a 4-worker
+// pool, asserting identical Result and Eval outputs on both domains.
+func TestParallelMatchesSerialAllMethods(t *testing.T) {
+	for _, w := range equivWorlds(t) {
+		serialP := fusion.Build(w.ds, w.snap, w.fused,
+			fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true, Parallelism: 1})
+		parP := fusion.Build(w.ds, w.snap, w.fused,
+			fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true, Parallelism: 4})
+
+		// Problem construction itself must be equivalent.
+		for i := range serialP.Items {
+			for a := range serialP.Sim[i] {
+				for b := range serialP.Sim[i][a] {
+					if serialP.Sim[i][a][b] != parP.Sim[i][a][b] {
+						t.Fatalf("%s: Sim[%d][%d][%d] differs", w.name, i, a, b)
+					}
+				}
+			}
+			if len(serialP.Format[i]) != len(parP.Format[i]) {
+				t.Fatalf("%s: Format[%d] length differs", w.name, i)
+			}
+		}
+
+		methods := fusion.Methods()
+		methods = append(methods, fusion.ExtensionMethods()...)
+		for _, m := range methods {
+			serial := m.Run(serialP, fusion.Options{Parallelism: 1})
+			par := m.Run(parP, fusion.Options{Parallelism: 4})
+			ctx := w.name + "/" + m.Name()
+			sameResults(t, ctx, serial, par)
+			evS := fusion.Evaluate(w.ds, serialP, serial, w.gld)
+			evP := fusion.Evaluate(w.ds, parP, par, w.gld)
+			if evS != evP {
+				t.Fatalf("%s: eval %+v vs %+v", ctx, evS, evP)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialAccuCopyVariants covers the detector-heavy
+// configurations separately: the plain 2009 detector, the
+// similarity-aware fix, and known-group filtering.
+func TestParallelMatchesSerialAccuCopyVariants(t *testing.T) {
+	for _, w := range equivWorlds(t) {
+		p := fusion.Build(w.ds, w.snap, w.fused,
+			fusion.BuildOptions{NeedSimilarity: true, NeedFormat: true})
+		m, _ := fusion.ByName("AccuCopy")
+		for _, variant := range []struct {
+			name string
+			opts fusion.Options
+		}{
+			{"paper2009", fusion.Options{CopyDetectPaper2009: true}},
+			{"simaware", fusion.Options{CopyDetectSimilarityAware: true}},
+		} {
+			serialOpts, parOpts := variant.opts, variant.opts
+			serialOpts.Parallelism, parOpts.Parallelism = 1, 4
+			sameResults(t, w.name+"/AccuCopy/"+variant.name,
+				m.Run(p, serialOpts), m.Run(p, parOpts))
+		}
+	}
+}
+
+// TestFuseParallelismOption exercises the public API end to end: Fuse
+// with Parallelism 1 and Parallelism 4 must return identical answers.
+func TestFuseParallelismOption(t *testing.T) {
+	sim := SimulateStock(StockOptions{Seed: 5, Stocks: 60, Days: 1, GoldSymbols: 30})
+	snap := sim.Dataset.Snapshots[0]
+	for _, method := range []string{"Vote", "TruthFinder", "AccuFormatAttr"} {
+		serial, err := Fuse(sim.Dataset, snap, method, FuseOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Fuse(sim.Dataset, snap, method, FuseOptions{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) != len(par) {
+			t.Fatalf("%s: answer count %d vs %d", method, len(serial), len(par))
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("%s: answer %d differs: %+v vs %+v", method, i, serial[i], par[i])
+			}
+		}
+	}
+}

@@ -185,6 +185,11 @@ type FuseOptions struct {
 	Gold *TruthTable
 	// KnownCopyGroups feeds AccuCopy discovered copying groups.
 	KnownCopyGroups [][]SourceID
+	// Parallelism bounds the worker pool used for problem construction,
+	// the per-item phases of every fusion iteration, and copy detection:
+	// 0 (the default) uses GOMAXPROCS, 1 forces the exact serial path.
+	// Results are bit-identical at any setting.
+	Parallelism int
 }
 
 // Fuse resolves conflicts in a snapshot with the named method and returns
@@ -194,8 +199,10 @@ func Fuse(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answe
 	if !ok {
 		return nil, fmt.Errorf("truthdiscovery: unknown fusion method %q", method)
 	}
-	p := fusion.Build(ds, snap, opts.Sources, m.Needs())
-	fo := fusion.Options{KnownGroups: opts.KnownCopyGroups}
+	needs := m.Needs()
+	needs.Parallelism = opts.Parallelism
+	p := fusion.Build(ds, snap, opts.Sources, needs)
+	fo := fusion.Options{KnownGroups: opts.KnownCopyGroups, Parallelism: opts.Parallelism}
 	if opts.Gold != nil {
 		fo.InputTrust = m.TrustScale(fusion.SampleAccuracy(ds, snap, p, opts.Gold))
 		fo.InputAttrTrust = fusion.SampleAttrAccuracy(ds, snap, p, opts.Gold)
