@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt ci
+.PHONY: build test race bench benchpairs benchgate examples lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,26 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# The serial/parallel and full/incremental benchmark pairs, at 1 and 4
+# cores — the multi-core trajectory CI records per push (bench.txt).
+# pipefail keeps a failed/panicking bench run from hiding behind tee.
+benchpairs: SHELL := /bin/bash
+benchpairs:
+	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental)' -cpu=1,4 -benchtime=3x . | tee bench.txt
+
+# Regression gate: hardware-normalised ns/op against the committed
+# baseline (see cmd/benchdiff). BENCH is the candidate JSON.
+BENCH ?= bench.json
+benchgate:
+	$(GO) run ./cmd/benchdiff -old testdata/bench_baseline.json -new $(BENCH) -threshold 1.20
+
+# Smoke-run every example program (tier-1 only builds them).
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d > /dev/null; \
+	done
+
 lint:
 	@fmtout="$$(gofmt -l .)"; \
 	if [ -n "$$fmtout" ]; then \
@@ -30,4 +50,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench
+ci: lint build race bench examples

@@ -5,6 +5,8 @@
 package truthdiscovery
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -299,3 +301,188 @@ func benchRegenerate(b *testing.B, parallelism int) {
 
 func BenchmarkRegenerateExperimentsSerial(b *testing.B)   { benchRegenerate(b, 1) }
 func BenchmarkRegenerateExperimentsParallel(b *testing.B) { benchRegenerate(b, 0) }
+
+// Full-vs-incremental benchmarks for the streaming fusion engine. The
+// world is a simulated multi-day collection with small daily churn (~5% of
+// items touched per day — the regime the streaming north-star targets; the
+// paper's Stock collection churns >90% daily and is covered by the
+// `incremental` experiment instead). The Full variant re-fuses every day's
+// snapshot from scratch; the Delta variant advances a FusedState over the
+// day's claim delta — including the cost of materialising the snapshot
+// from the delta, which the Full variant gets for free. Results are
+// bit-identical between the two paths by construction (see
+// incremental_test.go); the dirty-item share is reported per run.
+
+const churnDays = 6
+
+var (
+	churnOnce   sync.Once
+	churnDS     *Dataset
+	churnSnaps  []*Snapshot
+	churnDeltas []*Delta
+)
+
+// churnWorld builds (once) a 30-source, 4000-item world where each day
+// changes ~0.45% of claims, retracting and adding a few — item-level churn
+// around 5%/day.
+func churnWorld(b *testing.B) (*Dataset, []*Snapshot, []*Delta) {
+	b.Helper()
+	churnOnce.Do(func() {
+		rng := rand.New(rand.NewSource(9))
+		bld := NewBuilder("churn")
+		const numAttrs, numSources, numObjects = 4, 30, 1000
+		var attrs []AttrID
+		for a := 0; a < numAttrs; a++ {
+			attrs = append(attrs, bld.Attribute(fmt.Sprintf("a%d", a), Number))
+		}
+		var sources []SourceID
+		for s := 0; s < numSources; s++ {
+			sources = append(sources, bld.Source(fmt.Sprintf("s%d", s)))
+		}
+		var objects []ObjectID
+		for o := 0; o < numObjects; o++ {
+			objects = append(objects, bld.Object(fmt.Sprintf("o%d", o)))
+		}
+
+		mkVal := func(item int) Value {
+			base := 100 + 13*float64(item%11)
+			switch rng.Intn(12) {
+			case 0, 1:
+				return truthdiscoveryNum(base * (1 + 0.04*float64(1+rng.Intn(4))))
+			case 2:
+				return truthdiscoveryNumGran(base, 10)
+			default:
+				return truthdiscoveryNum(base)
+			}
+		}
+
+		// claimAt[obj][attr][src] — the live value, zero Value when absent.
+		type cell = Value
+		claimAt := make([][][]cell, numObjects)
+		for o := range claimAt {
+			claimAt[o] = make([][]cell, numAttrs)
+			for a := range claimAt[o] {
+				claimAt[o][a] = make([]cell, numSources)
+				for s := range claimAt[o][a] {
+					if rng.Float64() < 0.4 {
+						claimAt[o][a][s] = mkVal(o*numAttrs + a)
+					}
+				}
+			}
+		}
+		record := func() {
+			for o, obj := range objects {
+				for a, attr := range attrs {
+					for s, src := range sources {
+						if !claimAt[o][a][s].IsZero() {
+							bld.ClaimValue(src, obj, attr, claimAt[o][a][s])
+						}
+					}
+				}
+			}
+		}
+		record()
+		bld.EndDay("")
+		for d := 1; d < churnDays; d++ {
+			for o := range claimAt {
+				for a := range claimAt[o] {
+					for s := range claimAt[o][a] {
+						if !claimAt[o][a][s].IsZero() {
+							switch {
+							case rng.Float64() < 0.0045: // reprice
+								claimAt[o][a][s] = mkVal(o*len(claimAt[o]) + a)
+							case rng.Float64() < 0.0005: // retract
+								claimAt[o][a][s] = Value{}
+							}
+						} else if rng.Float64() < 0.0004 { // new claim
+							claimAt[o][a][s] = mkVal(o*len(claimAt[o]) + a)
+						}
+					}
+				}
+			}
+			record()
+			bld.EndDay("")
+		}
+		ds, day0, deltas, err := bld.BuildStream()
+		if err != nil {
+			panic(err)
+		}
+		churnDS = ds
+		churnSnaps = []*Snapshot{day0}
+		snap := day0
+		for _, dl := range deltas {
+			next, err := snap.Apply(dl)
+			if err != nil {
+				panic(err)
+			}
+			churnSnaps = append(churnSnaps, next)
+			snap = next
+		}
+		churnDeltas = deltas
+	})
+	return churnDS, churnSnaps, churnDeltas
+}
+
+// truthdiscoveryNum / truthdiscoveryNumGran keep the bench file free of a
+// direct internal/value import.
+func truthdiscoveryNum(x float64) Value        { return Value{Kind: Number, Num: x} }
+func truthdiscoveryNumGran(x, g float64) Value { return Value{Kind: Number, Num: x, Gran: g} }
+
+// benchIncrementalFull re-fuses every day's snapshot from scratch.
+func benchIncrementalFull(b *testing.B, method string) {
+	ds, snaps, _ := churnWorld(b)
+	m, ok := fusion.ByName(method)
+	if !ok {
+		b.Fatalf("unknown method %s", method)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, snap := range snaps {
+			p := fusion.Build(ds, snap, nil, m.Needs())
+			if res := m.Run(p, fusion.Options{}); len(res.Chosen) != len(p.Items) {
+				b.Fatal("bad result")
+			}
+		}
+	}
+}
+
+// benchIncrementalDelta advances a fused state over the delta stream,
+// paying snapshot materialisation (Apply) along the way.
+func benchIncrementalDelta(b *testing.B, method string) {
+	ds, snaps, deltas := churnWorld(b)
+	m, ok := fusion.ByName(method)
+	if !ok {
+		b.Fatalf("unknown method %s", method)
+	}
+	var dirty, total int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := fusion.NewState(ds, snaps[0], nil, m, fusion.Options{})
+		for _, dl := range deltas {
+			next, stats, err := st.Advance(ds, dl, fusion.Options{}, fusion.IncrementalOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dirty += stats.DirtyItems
+			total += stats.TotalItems
+			st = next
+		}
+	}
+	b.StopTimer()
+	if total > 0 {
+		b.ReportMetric(100*float64(dirty)/float64(total), "dirty%/day")
+	}
+}
+
+func BenchmarkIncrementalVoteFull(b *testing.B)           { benchIncrementalFull(b, "Vote") }
+func BenchmarkIncrementalVoteDelta(b *testing.B)          { benchIncrementalDelta(b, "Vote") }
+func BenchmarkIncrementalAccuPrFull(b *testing.B)         { benchIncrementalFull(b, "AccuPr") }
+func BenchmarkIncrementalAccuPrDelta(b *testing.B)        { benchIncrementalDelta(b, "AccuPr") }
+func BenchmarkIncrementalAccuFormatAttrFull(b *testing.B) { benchIncrementalFull(b, "AccuFormatAttr") }
+func BenchmarkIncrementalAccuFormatAttrDelta(b *testing.B) {
+	benchIncrementalDelta(b, "AccuFormatAttr")
+}
+
+// BenchmarkIncrementalExperiment times the registry exhibit that threads
+// day-over-day deltas through the Stock/Flight regeneration.
+func BenchmarkIncrementalExperiment(b *testing.B) { benchExperiment(b, "incremental") }

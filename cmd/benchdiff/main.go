@@ -1,0 +1,238 @@
+// Command benchdiff turns `go test -bench` output into a compact JSON
+// record and gates benchmark regressions against a committed baseline.
+//
+// Parse mode — write the current run as JSON (CI uploads this per push):
+//
+//	go test -run '^$' -bench '(Serial|Parallel|Incremental)' -cpu 1,4 . | tee bench.txt
+//	benchdiff -parse bench.txt > BENCH_$(git rev-parse HEAD).json
+//
+// Compare mode — fail (exit 1) when any benchmark regressed more than the
+// threshold factor versus the baseline:
+//
+//	benchdiff -old testdata/bench_baseline.json -new BENCH_abc.json -threshold 1.20
+//
+// Baselines recorded on one machine gate runs on another, so comparisons
+// are hardware-normalised: each benchmark's ns/op is divided by the ns/op
+// of a reference benchmark from the same file (matched per -cpu suffix),
+// and the gate fires on the ratio of those ratios. A benchmark twice as
+// slow on a machine where the reference is also twice as slow is not a
+// regression. Absolute ns/op stay in the JSON for trajectory tracking.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is the JSON shape benchdiff reads and writes.
+type Record struct {
+	// Goos/Goarch/CPU describe the recording machine (informational).
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks maps the full benchmark name (including any -N cpu
+	// suffix) to ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches e.g. "BenchmarkFoo-4   	     123	   9876543 ns/op	 3.5 dirty%/day".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// cpuLine captures the "cpu: ..." header go test prints.
+var cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
+
+func main() {
+	var (
+		parse     = flag.String("parse", "", "parse `go test -bench` output from this file ('-' = stdin) and print JSON")
+		oldPath   = flag.String("old", "", "baseline JSON (compare mode)")
+		newPath   = flag.String("new", "", "candidate JSON (compare mode)")
+		threshold = flag.Float64("threshold", 1.20, "fail when normalised ns/op grows past this factor")
+		ref       = flag.String("ref", "BenchmarkIncrementalVoteFull", "reference benchmark used to normalise across machines")
+	)
+	flag.Parse()
+
+	switch {
+	case *parse != "":
+		rec, err := parseBench(*parse)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	case *oldPath != "" && *newPath != "":
+		oldRec, err := readRecord(*oldPath)
+		if err != nil {
+			fatal(err)
+		}
+		newRec, err := readRecord(*newPath)
+		if err != nil {
+			fatal(err)
+		}
+		if !compare(oldRec, newRec, *ref, *threshold) {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse bench.txt | benchdiff -old base.json -new cand.json [-threshold 1.2] [-ref Benchmark...]")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+func parseBench(path string) (*Record, error) {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		if f, err = os.Open(path); err != nil {
+			return nil, err
+		}
+		defer f.Close()
+	}
+	rec := &Record{
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		Benchmarks: map[string]float64{},
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			rec.CPU = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		rec.Benchmarks[m[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return rec, nil
+}
+
+func readRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// cpuSuffix splits "BenchmarkFoo-4" into ("BenchmarkFoo", "-4"); names
+// without a numeric suffix return ("BenchmarkFoo", "").
+func cpuSuffix(name string) (base, suffix string) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name, ""
+	}
+	return name[:i], name[i:]
+}
+
+// normalised returns ns/op divided by the record's reference benchmark at
+// the same cpu suffix (falling back to the bare reference), and whether a
+// reference value was available.
+func normalised(rec *Record, name, ref string, ns float64) (float64, bool) {
+	_, suffix := cpuSuffix(name)
+	if r, ok := rec.Benchmarks[ref+suffix]; ok && r > 0 {
+		return ns / r, true
+	}
+	if r, ok := rec.Benchmarks[ref]; ok && r > 0 {
+		return ns / r, true
+	}
+	return ns, false
+}
+
+func compare(oldRec, newRec *Record, ref string, threshold float64) bool {
+	names := make([]string, 0, len(newRec.Benchmarks))
+	for name := range newRec.Benchmarks {
+		if _, ok := oldRec.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("benchdiff: no common benchmarks; nothing to gate")
+		return true
+	}
+
+	ok := true
+	fmt.Printf("%-50s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		oldNs, newNs := oldRec.Benchmarks[name], newRec.Benchmarks[name]
+		if base, _ := cpuSuffix(name); base == ref {
+			// The reference cannot be normalised by itself; its raw ratio
+			// is hardware-dependent, so it is reported loudly (a slower
+			// reference deflates every other normalised ratio) but only
+			// warned about, never gated.
+			raw := 1.0
+			if oldNs > 0 {
+				raw = newNs / oldNs
+			}
+			verdict := "  (reference, raw ratio — not gated)"
+			if raw > threshold {
+				verdict += "  WARNING: reference slowed down; other ratios are deflated"
+			}
+			fmt.Printf("%-50s %12.0f %12.0f %7.2fx%s\n", name, oldNs, newNs, raw, verdict)
+			continue
+		}
+		oldN, oldHasRef := normalised(oldRec, name, ref, oldNs)
+		newN, newHasRef := normalised(newRec, name, ref, newNs)
+		if !oldHasRef || !newHasRef {
+			// Without a reference on both sides the only available ratio
+			// is raw cross-machine ns/op — exactly what this tool exists
+			// to avoid gating on. Report it, don't fail on it.
+			raw := 1.0
+			if oldNs > 0 {
+				raw = newNs / oldNs
+			}
+			fmt.Printf("%-50s %12.0f %12.0f %7.2fx  (no reference — not gated)\n",
+				name, oldNs, newNs, raw)
+			continue
+		}
+		ratio := 1.0
+		if oldN > 0 {
+			ratio = newN / oldN
+		}
+		verdict := ""
+		if ratio > threshold {
+			verdict = "  REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-50s %12.0f %12.0f %7.2fx%s\n", name, oldNs, newNs, ratio, verdict)
+	}
+	if !ok {
+		fmt.Printf("benchdiff: normalised regression past %.2fx (reference %s)\n", threshold, ref)
+	}
+	return ok
+}

@@ -11,6 +11,7 @@
 //	truthbench -quick               # reduced scale (CI-friendly)
 //	truthbench -seed 7              # different simulated world
 //	truthbench -parallel 1          # serial experiment execution
+//	truthbench -incremental         # streaming mode: day-over-day deltas vs full re-fusion
 //
 // Independent experiments regenerate concurrently (bounded by -parallel;
 // 0 means GOMAXPROCS); reports are still printed in the paper's order.
@@ -28,11 +29,12 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		quick    = flag.Bool("quick", false, "reduced scale for quick runs")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		parallel = flag.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
+		run         = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		quick       = flag.Bool("quick", false, "reduced scale for quick runs")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel    = flag.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
+		incremental = flag.Bool("incremental", false, "consume the period as claim deltas: run the incremental-vs-full fusion exhibit")
 	)
 	flag.Parse()
 
@@ -54,6 +56,16 @@ func main() {
 	env := experiments.NewEnv(cfg)
 
 	var todo []experiments.Experiment
+	if *incremental {
+		// Alone: run just the incremental exhibit. With -run: add it to
+		// the requested set rather than silently ignoring the flag.
+		switch {
+		case *run == "":
+			*run = "incremental"
+		case !strings.Contains(","+*run+",", ",incremental,"):
+			*run += ",incremental"
+		}
+	}
 	if *run == "" {
 		todo = experiments.All()
 	} else {

@@ -50,6 +50,9 @@ func All() []Experiment {
 		{ID: "table9", Title: "Fusion precision over the collection period", Exclusive: true, Run: Table9},
 		{ID: "accucopy-ablation", Title: "Copy-detection design ablation", Run: AccuCopyAblation},
 		{ID: "tolerance-sweep", Title: "Tolerance factor ablation", Exclusive: true, Run: ToleranceSweep},
+		// Consumes the period as day-over-day claim deltas and re-derives
+		// (then restores) tolerances over the whole period, hence Exclusive.
+		{ID: "incremental", Title: "Incremental vs full fusion over the period", Exclusive: true, Run: IncrementalFusion},
 		{ID: "ensemble", Title: "Combining fusion models (Section 5)", Run: EnsembleExperiment},
 		{ID: "seed-trust", Title: "Seeding trust from consistent items (Section 5)", Run: SeedTrustExperiment},
 		{ID: "category-trust", Title: "Per-category source trust (Section 5)", Run: CategoryTrustExperiment},

@@ -26,3 +26,11 @@ func (Vote) Run(p *Problem, opts Options) *Result {
 		Elapsed:   time.Since(start),
 	}
 }
+
+// RunItems implements ItemLocal: an item's majority value depends only on
+// its own claims, so incremental fusion recomputes exactly the dirty items.
+func (Vote) RunItems(p *Problem, opts Options, idx []int, chosen []int32) {
+	for _, i := range idx {
+		chosen[i] = 0 // the dominant bucket is always bucket 0
+	}
+}

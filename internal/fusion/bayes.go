@@ -240,26 +240,7 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 	weigh func(round int, trust *accuTrust, probs [][]float64, chosen []int32) claimWeights) *Result {
 
 	n := len(p.SourceIDs)
-	// keyOf maps an item to its trust key: its attribute for the Attr
-	// variants, its object category for the Cat extension.
-	numKeys := 0
-	keyOf := func(i int) int32 { return 0 }
-	switch {
-	case cfg.perAttr:
-		numKeys = p.NumAttrs
-		keyOf = func(i int) int32 { return int32(p.Items[i].Attr) }
-	case cfg.perCat:
-		numKeys = len(p.CatNames)
-		if numKeys == 0 {
-			numKeys = 1
-		}
-		keyOf = func(i int) int32 {
-			if p.Cats == nil {
-				return 0
-			}
-			return p.Cats[i]
-		}
-	}
+	numKeys, keyOf := keySetup(p, cfg)
 	trust := &accuTrust{keyed: numKeys > 0}
 	if trust.keyed {
 		trust.byKey = make([][]float64, n)
@@ -309,57 +290,11 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 		// loop fans out with bit-identical results at any parallelism.
 		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				it := &p.Items[i]
-				scores := probs[i]
-				m := float64(it.Providers)
-				for b, bk := range it.Buckets {
-					var l float64
-					for k, s := range bk.Sources {
-						a := clampTrust(trust.of(s, keyOf(i)), 0.01, 0.99)
-						w := 1.0
-						if weights != nil {
-							w = weights[i][b][k]
-						}
-						if cfg.popularity {
-							l += w * math.Log(a/(1-a))
-						} else {
-							l += w * (logN + math.Log(a/(1-a)))
-						}
-					}
-					if cfg.popularity {
-						// Non-providers of b supply false values whose
-						// popularity is their provider share among the
-						// remaining sources (Dong, Saha, Srivastava).
-						for b2, bk2 := range it.Buckets {
-							if b2 == b {
-								continue
-							}
-							pop := float64(len(bk2.Sources)) / math.Max(1, m-float64(len(bk.Sources)))
-							l += float64(len(bk2.Sources)) * math.Log(math.Max(pop, 1e-9))
-						}
-					}
-					scores[b] = l
+				var w [][]float64
+				if weights != nil {
+					w = weights[i]
 				}
-				if cfg.sim {
-					boosted := make([]float64, len(it.Buckets))
-					for b := range it.Buckets {
-						boost := scores[b]
-						for b2 := range it.Buckets {
-							if b2 != b {
-								boost += opts.SimWeight * float64(p.Sim[i][b][b2]) * scores[b2]
-							}
-						}
-						boosted[b] = boost
-					}
-					copy(scores, boosted)
-				}
-				if cfg.format && p.Format != nil {
-					for _, fp := range p.Format[i] {
-						scores[fp.Fine] += opts.SimWeight * math.Max(scores[fp.Coarse], 0)
-					}
-				}
-				softmaxInPlace(scores)
-				chosen[i] = argmax32(scores)
+				chosen[i] = accuPosterior(p, i, opts, cfg, trust, keyOf(i), logN, w, probs[i])
 			}
 		})
 
@@ -373,66 +308,172 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 			continue
 		}
 
-		var delta float64
-		if trust.keyed {
-			next := make([][]float64, n)
-			cnt := make([][]float64, n)
-			for s := 0; s < n; s++ {
-				next[s] = make([]float64, numKeys)
-				cnt[s] = make([]float64, numKeys)
-			}
-			for i := range p.Items {
-				it := &p.Items[i]
-				key := keyOf(i)
-				for b, bk := range it.Buckets {
-					for _, s := range bk.Sources {
-						next[s][key] += probs[i][b]
-						cnt[s][key]++
-					}
-				}
-			}
-			for s := 0; s < n; s++ {
-				for a := 0; a < numKeys; a++ {
-					var v float64
-					if cnt[s][a] > 0 {
-						v = clampTrust(next[s][a]/cnt[s][a], 0.01, 0.99)
-					} else {
-						v = trust.byKey[s][a]
-					}
-					if d := math.Abs(v - trust.byKey[s][a]); d > delta {
-						delta = d
-					}
-					trust.byKey[s][a] = v
-				}
-			}
-		} else {
-			next := make([]float64, n)
-			cnt := make([]float64, n)
-			for i := range p.Items {
-				for b, bk := range p.Items[i].Buckets {
-					for _, s := range bk.Sources {
-						next[s] += probs[i][b]
-						cnt[s]++
-					}
-				}
-			}
-			for s := range next {
-				if cnt[s] > 0 {
-					next[s] = clampTrust(next[s]/cnt[s], 0.01, 0.99)
-				} else {
-					next[s] = trust.global[s]
-				}
-			}
-			delta = maxDelta(trust.global, next)
-			trust.global = next
-		}
+		delta := accuReestimate(p, trust, probs, keyOf, numKeys)
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
 			res.Converged = delta < opts.Epsilon
 			break
 		}
 	}
 
+	accuFinish(p, cfg, trust, probs, chosen, keyOf, res)
+	return res
+}
+
+// keySetup resolves the trust key space of an ACCU-family config: the
+// attribute table for the Attr variants, the object categories for the Cat
+// extension, a single global key otherwise (numKeys 0).
+func keySetup(p *Problem, cfg accuConfig) (numKeys int, keyOf func(int) int32) {
+	keyOf = func(i int) int32 { return 0 }
+	switch {
+	case cfg.perAttr:
+		numKeys = p.NumAttrs
+		keyOf = func(i int) int32 { return int32(p.Items[i].Attr) }
+	case cfg.perCat:
+		numKeys = len(p.CatNames)
+		if numKeys == 0 {
+			numKeys = 1
+		}
+		keyOf = func(i int) int32 {
+			if p.Cats == nil {
+				return 0
+			}
+			return p.Cats[i]
+		}
+	}
+	return numKeys, keyOf
+}
+
+// accuPosterior computes one item's value posteriors into scores and
+// returns the winning bucket. It is a pure function of the item's buckets,
+// the trust entries of its providers, its aux structures and the supplied
+// claim weights — the invariant the incremental engine's dirty-item
+// tracking relies on.
+func accuPosterior(p *Problem, i int, opts Options, cfg accuConfig, trust *accuTrust,
+	key int32, logN float64, w [][]float64, scores []float64) int32 {
+
+	it := &p.Items[i]
+	m := float64(it.Providers)
+	for b, bk := range it.Buckets {
+		var l float64
+		for k, s := range bk.Sources {
+			a := clampTrust(trust.of(s, key), 0.01, 0.99)
+			wk := 1.0
+			if w != nil {
+				wk = w[b][k]
+			}
+			if cfg.popularity {
+				l += wk * math.Log(a/(1-a))
+			} else {
+				l += wk * (logN + math.Log(a/(1-a)))
+			}
+		}
+		if cfg.popularity {
+			// Non-providers of b supply false values whose popularity is
+			// their provider share among the remaining sources (Dong,
+			// Saha, Srivastava).
+			for b2, bk2 := range it.Buckets {
+				if b2 == b {
+					continue
+				}
+				pop := float64(len(bk2.Sources)) / math.Max(1, m-float64(len(bk.Sources)))
+				l += float64(len(bk2.Sources)) * math.Log(math.Max(pop, 1e-9))
+			}
+		}
+		scores[b] = l
+	}
+	if cfg.sim {
+		boosted := make([]float64, len(it.Buckets))
+		for b := range it.Buckets {
+			boost := scores[b]
+			for b2 := range it.Buckets {
+				if b2 != b {
+					boost += opts.SimWeight * float64(p.Sim[i][b][b2]) * scores[b2]
+				}
+			}
+			boosted[b] = boost
+		}
+		copy(scores, boosted)
+	}
+	if cfg.format && p.Format != nil {
+		for _, fp := range p.Format[i] {
+			scores[fp.Fine] += opts.SimWeight * math.Max(scores[fp.Coarse], 0)
+		}
+	}
+	softmaxInPlace(scores)
+	return argmax32(scores)
+}
+
+// accuReestimate recomputes trust from the current posteriors (the M-step
+// of the Bayesian iteration) and returns the largest per-entry move. The
+// accumulation order is the item order, independent of any parallelism.
+func accuReestimate(p *Problem, trust *accuTrust, probs [][]float64, keyOf func(int) int32, numKeys int) float64 {
+	n := len(trust.global)
 	if trust.keyed {
+		n = len(trust.byKey)
+	}
+	var delta float64
+	if trust.keyed {
+		next := make([][]float64, n)
+		cnt := make([][]float64, n)
+		for s := 0; s < n; s++ {
+			next[s] = make([]float64, numKeys)
+			cnt[s] = make([]float64, numKeys)
+		}
+		for i := range p.Items {
+			it := &p.Items[i]
+			key := keyOf(i)
+			for b, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					next[s][key] += probs[i][b]
+					cnt[s][key]++
+				}
+			}
+		}
+		for s := 0; s < n; s++ {
+			for a := 0; a < numKeys; a++ {
+				var v float64
+				if cnt[s][a] > 0 {
+					v = clampTrust(next[s][a]/cnt[s][a], 0.01, 0.99)
+				} else {
+					v = trust.byKey[s][a]
+				}
+				if d := math.Abs(v - trust.byKey[s][a]); d > delta {
+					delta = d
+				}
+				trust.byKey[s][a] = v
+			}
+		}
+		return delta
+	}
+	next := make([]float64, n)
+	cnt := make([]float64, n)
+	for i := range p.Items {
+		for b, bk := range p.Items[i].Buckets {
+			for _, s := range bk.Sources {
+				next[s] += probs[i][b]
+				cnt[s]++
+			}
+		}
+	}
+	for s := range next {
+		if cnt[s] > 0 {
+			next[s] = clampTrust(next[s]/cnt[s], 0.01, 0.99)
+		} else {
+			next[s] = trust.global[s]
+		}
+	}
+	delta = maxDelta(trust.global, next)
+	trust.global = next
+	return delta
+}
+
+// accuFinish writes the run outputs: scalar trust (per-source mean for the
+// keyed variants), attribute trust, chosen buckets and posteriors.
+func accuFinish(p *Problem, cfg accuConfig, trust *accuTrust, probs [][]float64,
+	chosen []int32, keyOf func(int) int32, res *Result) {
+
+	if trust.keyed {
+		n := len(trust.byKey)
 		if cfg.perAttr {
 			res.AttrTrust = trust.byKey
 		}
@@ -457,7 +498,7 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 		res.Trust = trust.global
 	}
 	res.Chosen = chosen
-	return res
+	res.Posteriors = probs
 }
 
 // softmaxInPlace converts log-scores to probabilities.

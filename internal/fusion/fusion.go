@@ -99,48 +99,90 @@ func Build(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID, op
 	}
 
 	p := &Problem{
-		SourceIDs:       sources,
-		NumAttrs:        len(ds.Attrs),
-		ClaimsPerSource: make([]int, len(sources)),
+		SourceIDs: sources,
+		NumAttrs:  len(ds.Attrs),
 	}
-	catIndex := make(map[string]int32)
-	var vals []value.Value
-	var srcs []int32
+	var scratch itemScratch
 	for id := 0; id < snap.NumItems(); id++ {
-		claims := snap.ItemClaims(model.ItemID(id))
-		vals = vals[:0]
-		srcs = srcs[:0]
-		for i := range claims {
-			d := denseOf[claims[i].Source]
-			if d < 0 {
-				continue
-			}
-			vals = append(vals, claims[i].Val)
-			srcs = append(srcs, d)
+		if it, ok := bucketizeItem(ds, snap, model.ItemID(id), denseOf, &scratch); ok {
+			p.Items = append(p.Items, it)
 		}
-		if len(vals) == 0 {
+	}
+	countClaims(p)
+	assignCats(p, ds)
+
+	buildAux(p, opts)
+	return p
+}
+
+// itemScratch holds the reusable per-item buffers of problem construction.
+type itemScratch struct {
+	vals []value.Value
+	srcs []int32
+}
+
+// bucketizeItem builds one item's bucketed view from the snapshot's claims,
+// restricted to the dense source mapping. ok is false when no participating
+// source claims the item. The result is a pure function of the item's
+// claims, the mapping and the item's current tolerance, which is what lets
+// incremental problem maintenance reuse unchanged items bit-for-bit.
+func bucketizeItem(ds *model.Dataset, snap *model.Snapshot, id model.ItemID, denseOf []int32, scratch *itemScratch) (ProblemItem, bool) {
+	claims := snap.ItemClaims(id)
+	vals := scratch.vals[:0]
+	srcs := scratch.srcs[:0]
+	for i := range claims {
+		d := denseOf[claims[i].Source]
+		if d < 0 {
 			continue
 		}
-		attr := ds.Items[id].Attr
-		tol := ds.Tolerance(attr)
-		raw := value.Bucketize(vals, tol)
-		buckets := make([]Bucket, len(raw))
-		for bi, b := range raw {
-			ss := make([]int32, len(b.Members))
-			for mi, m := range b.Members {
-				ss[mi] = srcs[m]
-				p.ClaimsPerSource[srcs[m]]++
-			}
-			buckets[bi] = Bucket{Rep: b.Rep, Sources: ss}
+		vals = append(vals, claims[i].Val)
+		srcs = append(srcs, d)
+	}
+	scratch.vals, scratch.srcs = vals, srcs
+	if len(vals) == 0 {
+		return ProblemItem{}, false
+	}
+	attr := ds.Items[id].Attr
+	tol := ds.Tolerance(attr)
+	raw := value.Bucketize(vals, tol)
+	buckets := make([]Bucket, len(raw))
+	for bi, b := range raw {
+		ss := make([]int32, len(b.Members))
+		for mi, m := range b.Members {
+			ss[mi] = srcs[m]
 		}
-		p.Items = append(p.Items, ProblemItem{
-			Item:      model.ItemID(id),
-			Attr:      attr,
-			Tol:       tol,
-			Buckets:   buckets,
-			Providers: len(vals),
-		})
-		group := ds.Objects[ds.Items[id].Object].Group
+		buckets[bi] = Bucket{Rep: b.Rep, Sources: ss}
+	}
+	return ProblemItem{
+		Item:      id,
+		Attr:      attr,
+		Tol:       tol,
+		Buckets:   buckets,
+		Providers: len(vals),
+	}, true
+}
+
+// countClaims derives ClaimsPerSource from the final item list (every claim
+// is a member of exactly one bucket).
+func countClaims(p *Problem) {
+	p.ClaimsPerSource = make([]int, len(p.SourceIDs))
+	for i := range p.Items {
+		for _, bk := range p.Items[i].Buckets {
+			for _, s := range bk.Sources {
+				p.ClaimsPerSource[s]++
+			}
+		}
+	}
+}
+
+// assignCats assigns the per-item category indices (object groups) in item
+// order, numbering categories by first appearance.
+func assignCats(p *Problem, ds *model.Dataset) {
+	catIndex := make(map[string]int32)
+	p.Cats = make([]int32, 0, len(p.Items))
+	p.CatNames = nil
+	for i := range p.Items {
+		group := ds.Objects[ds.Items[p.Items[i].Item].Object].Group
 		cat, ok := catIndex[group]
 		if !ok {
 			cat = int32(len(p.CatNames))
@@ -149,9 +191,6 @@ func Build(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID, op
 		}
 		p.Cats = append(p.Cats, cat)
 	}
-
-	buildAux(p, opts)
-	return p
 }
 
 // buildAux fills the similarity and format structures. Each item's
@@ -162,19 +201,7 @@ func buildAux(p *Problem, opts BuildOptions) {
 		p.Sim = make([][][]float32, len(p.Items))
 		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				it := &p.Items[i]
-				n := len(it.Buckets)
-				sim := make([][]float32, n)
-				for a := 0; a < n; a++ {
-					sim[a] = make([]float32, n)
-					for b := 0; b < n; b++ {
-						if a == b {
-							continue
-						}
-						sim[a][b] = float32(value.Similarity(it.Buckets[a].Rep, it.Buckets[b].Rep, it.Tol))
-					}
-				}
-				p.Sim[i] = sim
+				p.Sim[i] = simFor(&p.Items[i])
 			}
 		})
 	}
@@ -182,19 +209,39 @@ func buildAux(p *Problem, opts BuildOptions) {
 		p.Format = make([][]FormatPair, len(p.Items))
 		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				it := &p.Items[i]
-				var pairs []FormatPair
-				for a := range it.Buckets {
-					for b := range it.Buckets {
-						if a != b && value.RoundsTo(it.Buckets[a].Rep, it.Buckets[b].Rep) {
-							pairs = append(pairs, FormatPair{Fine: int32(a), Coarse: int32(b)})
-						}
-					}
-				}
-				p.Format[i] = pairs
+				p.Format[i] = formatFor(&p.Items[i])
 			}
 		})
 	}
+}
+
+// simFor computes one item's bucket-similarity matrix.
+func simFor(it *ProblemItem) [][]float32 {
+	n := len(it.Buckets)
+	sim := make([][]float32, n)
+	for a := 0; a < n; a++ {
+		sim[a] = make([]float32, n)
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			sim[a][b] = float32(value.Similarity(it.Buckets[a].Rep, it.Buckets[b].Rep, it.Tol))
+		}
+	}
+	return sim
+}
+
+// formatFor computes one item's format-subsumption pairs.
+func formatFor(it *ProblemItem) []FormatPair {
+	var pairs []FormatPair
+	for a := range it.Buckets {
+		for b := range it.Buckets {
+			if a != b && value.RoundsTo(it.Buckets[a].Rep, it.Buckets[b].Rep) {
+				pairs = append(pairs, FormatPair{Fine: int32(a), Coarse: int32(b)})
+			}
+		}
+	}
+	return pairs
 }
 
 // Options configures one fusion run.
@@ -277,9 +324,15 @@ type Result struct {
 	Trust []float64
 	// AttrTrust is the per-attribute trust for the attr methods.
 	AttrTrust [][]float64
-	Rounds    int
-	Converged bool
-	Elapsed   time.Duration
+	// Posteriors holds the per-item per-bucket value probabilities of the
+	// final round for methods that compute them (the ACCU family). They are
+	// the reusable half of a fused state: incremental fusion reads the
+	// clean items' posteriors when re-estimating trust. Rows may be shared
+	// with earlier results and must be treated as read-only.
+	Posteriors [][]float64
+	Rounds     int
+	Converged  bool
+	Elapsed    time.Duration
 }
 
 // Method is one fusion algorithm.

@@ -150,38 +150,42 @@ func (TwoEstimates) Run(p *Problem, opts Options) *Result {
 	n := len(p.SourceIDs)
 	trust := initTrust(n, opts.startTrust(), 0.8)
 	scores := newVoteSpace(p)
+	off, total := bucketOffsets(p)
+	flat := make([]float64, total)
 
 	res := &Result{Method: "2-Estimates"}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		var flat []float64
-		for i := range p.Items {
-			it := &p.Items[i]
-			// trustSum over all providers of the item.
-			var trustAll float64
-			for _, bk := range it.Buckets {
-				for _, s := range bk.Sources {
-					trustAll += trust[s]
+		// Per-item vote phase: item i writes only scores[i] and its own
+		// span of flat (the precomputed bucket offsets reproduce the
+		// serial append layout), so the loop fans out bit-identically.
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := &p.Items[i]
+				// trustSum over all providers of the item.
+				var trustAll float64
+				for _, bk := range it.Buckets {
+					for _, s := range bk.Sources {
+						trustAll += trust[s]
+					}
+				}
+				for b, bk := range it.Buckets {
+					var pos float64
+					for _, s := range bk.Sources {
+						pos += trust[s]
+					}
+					neg := float64(it.Providers-len(bk.Sources)) - (trustAll - pos)
+					scores[i][b] = (pos + neg) / float64(it.Providers)
+					flat[off[i]+b] = scores[i][b]
 				}
 			}
-			for b, bk := range it.Buckets {
-				var pos float64
-				for _, s := range bk.Sources {
-					pos += trust[s]
-				}
-				neg := float64(it.Providers-len(bk.Sources)) - (trustAll - pos)
-				scores[i][b] = (pos + neg) / float64(it.Providers)
+		})
+		rescaleFlat(flat, opts.Parallelism)
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				copy(scores[i], flat[off[i]:off[i+1]])
 			}
-			flat = append(flat, scores[i]...)
-		}
-		rescale01(flat)
-		idx := 0
-		for i := range p.Items {
-			for b := range p.Items[i].Buckets {
-				scores[i][b] = flat[idx]
-				idx++
-			}
-		}
+		})
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
@@ -247,71 +251,75 @@ func (ThreeEstimates) Run(p *Problem, opts Options) *Result {
 		}
 	}
 
+	off, total := bucketOffsets(p)
+	flat := make([]float64, total)
+	flatEps := make([]float64, total)
+
 	res := &Result{Method: "3-Estimates"}
 	for round := 1; ; round++ {
 		res.Rounds = round
 		// sigma(v) = avg_s [ claimed: 1-(1-theta)eps ; other: (1-theta)eps ].
-		var flat []float64
-		for i := range p.Items {
-			it := &p.Items[i]
-			var trustAll float64
-			for _, bk := range it.Buckets {
-				for _, s := range bk.Sources {
-					trustAll += trust[s]
+		// Item i writes only scores[i] and its own flat span (precomputed
+		// bucket offsets), so the loop fans out bit-identically.
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := &p.Items[i]
+				var trustAll float64
+				for _, bk := range it.Buckets {
+					for _, s := range bk.Sources {
+						trustAll += trust[s]
+					}
+				}
+				for b, bk := range it.Buckets {
+					var pos float64
+					for _, s := range bk.Sources {
+						pos += 1 - (1-trust[s])*eps[i][b]
+					}
+					negMass := (float64(it.Providers-len(bk.Sources)) - (trustAll - sumTrust(bk.Sources, trust))) * eps[i][b]
+					scores[i][b] = (pos + negMass) / float64(it.Providers)
+					flat[off[i]+b] = scores[i][b]
 				}
 			}
-			for b, bk := range it.Buckets {
-				var pos float64
-				for _, s := range bk.Sources {
-					pos += 1 - (1-trust[s])*eps[i][b]
-				}
-				negMass := (float64(it.Providers-len(bk.Sources)) - (trustAll - sumTrust(bk.Sources, trust))) * eps[i][b]
-				scores[i][b] = (pos + negMass) / float64(it.Providers)
+		})
+		rescaleFlat(flat, opts.Parallelism)
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				copy(scores[i], flat[off[i]:off[i+1]])
 			}
-			flat = append(flat, scores[i]...)
-		}
-		rescale01(flat)
-		idx := 0
-		for i := range p.Items {
-			for b := range p.Items[i].Buckets {
-				scores[i][b] = flat[idx]
-				idx++
-			}
-		}
+		})
 
 		// eps(v) = avg_s [ claimed: (1-sigma)/(1-theta) ; other: sigma/(1-theta) ].
-		var flatEps []float64
-		for i := range p.Items {
-			it := &p.Items[i]
-			for b, bk := range it.Buckets {
-				var e, cnt float64
-				for _, s := range bk.Sources {
-					e += (1 - scores[i][b]) / math.Max(1e-9, 1-trust[s])
-					cnt++
-				}
-				for b2, bk2 := range it.Buckets {
-					if b2 == b {
-						continue
-					}
-					for _, s := range bk2.Sources {
-						e += scores[i][b] / math.Max(1e-9, 1-trust[s])
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := &p.Items[i]
+				for b, bk := range it.Buckets {
+					var e, cnt float64
+					for _, s := range bk.Sources {
+						e += (1 - scores[i][b]) / math.Max(1e-9, 1-trust[s])
 						cnt++
 					}
-				}
-				if cnt > 0 {
-					eps[i][b] = clampTrust(e/cnt, 0, 1)
+					for b2, bk2 := range it.Buckets {
+						if b2 == b {
+							continue
+						}
+						for _, s := range bk2.Sources {
+							e += scores[i][b] / math.Max(1e-9, 1-trust[s])
+							cnt++
+						}
+					}
+					if cnt > 0 {
+						eps[i][b] = clampTrust(e/cnt, 0, 1)
+					}
+					flatEps[off[i]+b] = eps[i][b]
 				}
 			}
-			flatEps = append(flatEps, eps[i]...)
-		}
-		rescale01(flatEps)
-		idx = 0
-		for i := range p.Items {
-			for b := range p.Items[i].Buckets {
-				eps[i][b] = flatEps[idx]
-				idx++
+		})
+		rescaleFlat(flatEps, opts.Parallelism)
+		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				copy(eps[i], flatEps[off[i]:off[i+1]])
 			}
-		}
+		})
 
 		if opts.InputTrust != nil {
 			res.Converged = true
@@ -355,6 +363,67 @@ func (ThreeEstimates) Run(p *Problem, opts Options) *Result {
 	res.Chosen = choose(p, scores)
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// bucketOffsets precomputes each item's span in the flattened score space
+// (off[i]..off[i+1]) plus the total bucket count, so the flat-rescale
+// phases of 2-ESTIMATES / 3-ESTIMATES can fan out with disjoint writes
+// that reproduce the serial append layout exactly.
+func bucketOffsets(p *Problem) (off []int, total int) {
+	off = make([]int, len(p.Items)+1)
+	for i := range p.Items {
+		off[i+1] = off[i] + len(p.Items[i].Buckets)
+	}
+	return off, off[len(p.Items)]
+}
+
+// rescaleFlat is rescale01 with the min/max scan and the scaling loop
+// fanned out. Min/max is exact under any chunking and the scaling is
+// element-wise, so the result is bit-identical to the serial rescale at
+// any parallelism.
+func rescaleFlat(xs []float64, parallelism int) {
+	n := len(xs)
+	w := parallel.Workers(parallelism)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		rescale01(xs)
+		return
+	}
+	lows := make([]float64, w)
+	his := make([]float64, w)
+	parallel.For(w, w, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			l, h := math.Inf(1), math.Inf(-1)
+			for _, x := range xs[c*n/w : (c+1)*n/w] {
+				if x < l {
+					l = x
+				}
+				if x > h {
+					h = x
+				}
+			}
+			lows[c], his[c] = l, h
+		}
+	})
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for c := 0; c < w; c++ {
+		if lows[c] < lo {
+			lo = lows[c]
+		}
+		if his[c] > hi {
+			hi = his[c]
+		}
+	}
+	if hi <= lo {
+		return
+	}
+	parallel.For(n, parallelism, func(a, b int) {
+		for i := a; i < b; i++ {
+			xs[i] = (xs[i] - lo) / (hi - lo)
+		}
+	})
 }
 
 func sumTrust(ss []int32, trust []float64) float64 {

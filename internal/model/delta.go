@@ -1,0 +1,261 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta is the claim-level difference between two snapshots of the same
+// dataset: the streaming-ingest unit of the system. Instead of shipping a
+// full per-day world, a producer ships the day-0 snapshot once and then one
+// Delta per day; consumers reconstruct each day with Apply and feed the
+// dirty items to incremental fusion.
+//
+// The three op lists are disjoint and each is sorted by (item, source), the
+// snapshot claim order. A claim that exists in both snapshots but differs in
+// any field (value, cause or copy label) appears in Changed; claims present
+// only in the base appear in Retracted; claims present only in the target
+// appear in Added.
+type Delta struct {
+	// FromDay/ToDay and the labels identify the two snapshots the delta
+	// connects; Apply stamps the target identity onto the snapshot it builds.
+	FromDay   int
+	ToDay     int
+	FromLabel string
+	ToLabel   string
+	// NumItems is the shared item-table size of both snapshots.
+	NumItems int
+
+	Added     []Claim
+	Retracted []Claim
+	Changed   []ValueChange
+}
+
+// ValueChange is one claim whose (source, item) key survives between
+// snapshots with a different payload.
+type ValueChange struct {
+	Old Claim
+	New Claim
+}
+
+// Size returns the number of claim-level operations in the delta.
+func (d *Delta) Size() int { return len(d.Added) + len(d.Retracted) + len(d.Changed) }
+
+// Empty reports whether the delta carries no operations.
+func (d *Delta) Empty() bool { return d.Size() == 0 }
+
+// DirtyItems returns the sorted, de-duplicated IDs of every item whose
+// claim set the delta touches — the work-list incremental fusion re-runs.
+// Each op list is ordered by (item, source), so the item IDs stream out of
+// a three-way merge with no sort, keeping delta consumption linear even
+// when a day churns most of its claims.
+func (d *Delta) DirtyItems() []ItemID {
+	add, ret, chg := d.Added, d.Retracted, d.Changed
+	if !sort.SliceIsSorted(add, func(a, b int) bool { return claimKeyLess(&add[a], &add[b]) }) ||
+		!sort.SliceIsSorted(ret, func(a, b int) bool { return claimKeyLess(&ret[a], &ret[b]) }) ||
+		!sort.SliceIsSorted(chg, func(a, b int) bool { return claimKeyLess(&chg[a].Old, &chg[b].Old) }) {
+		return d.dirtyItemsSlow()
+	}
+	const done = ItemID(1<<31 - 1)
+	head := func(cs []Claim) ItemID {
+		if len(cs) == 0 {
+			return done
+		}
+		return cs[0].Item
+	}
+	out := make([]ItemID, 0, 64)
+	for {
+		next := head(add)
+		if it := head(ret); it < next {
+			next = it
+		}
+		if len(chg) > 0 && chg[0].Old.Item < next {
+			next = chg[0].Old.Item
+		}
+		if next == done {
+			return out
+		}
+		out = append(out, next)
+		for len(add) > 0 && add[0].Item == next {
+			add = add[1:]
+		}
+		for len(ret) > 0 && ret[0].Item == next {
+			ret = ret[1:]
+		}
+		for len(chg) > 0 && chg[0].Old.Item == next {
+			chg = chg[1:]
+		}
+	}
+}
+
+// dirtyItemsSlow is the sort-based fallback for hand-assembled deltas
+// whose op lists are not in claim-key order.
+func (d *Delta) dirtyItemsSlow() []ItemID {
+	items := make([]ItemID, 0, d.Size())
+	for i := range d.Added {
+		items = append(items, d.Added[i].Item)
+	}
+	for i := range d.Retracted {
+		items = append(items, d.Retracted[i].Item)
+	}
+	for i := range d.Changed {
+		items = append(items, d.Changed[i].New.Item)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	out := items[:0]
+	for i, it := range items {
+		if i == 0 || it != items[i-1] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// claimKeyLess orders claims by the snapshot sort key (item, source).
+func claimKeyLess(a, b *Claim) bool {
+	if a.Item != b.Item {
+		return a.Item < b.Item
+	}
+	return a.Source < b.Source
+}
+
+// sameKey reports whether two claims share the (item, source) key.
+func sameKey(a, b *Claim) bool { return a.Item == b.Item && a.Source == b.Source }
+
+// Diff computes the delta that transforms s into target. Both snapshots
+// must be indexed for the same item table; claims are matched by their
+// (item, source) key in one linear merge over the sorted claim lists, so
+// Diff is O(|s| + |target|).
+func (s *Snapshot) Diff(target *Snapshot) (*Delta, error) {
+	if s.numItems != target.numItems {
+		return nil, fmt.Errorf("model: diff across item tables (%d vs %d items)",
+			s.numItems, target.numItems)
+	}
+	d := &Delta{
+		FromDay:   s.Day,
+		ToDay:     target.Day,
+		FromLabel: s.Label,
+		ToLabel:   target.Label,
+		NumItems:  s.numItems,
+	}
+	i, j := 0, 0
+	for i < len(s.Claims) && j < len(target.Claims) {
+		a, b := &s.Claims[i], &target.Claims[j]
+		switch {
+		case claimKeyLess(a, b):
+			d.Retracted = append(d.Retracted, *a)
+			i++
+		case claimKeyLess(b, a):
+			d.Added = append(d.Added, *b)
+			j++
+		default:
+			if *a != *b {
+				d.Changed = append(d.Changed, ValueChange{Old: *a, New: *b})
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(s.Claims); i++ {
+		d.Retracted = append(d.Retracted, s.Claims[i])
+	}
+	for ; j < len(target.Claims); j++ {
+		d.Added = append(d.Added, target.Claims[j])
+	}
+	return d, nil
+}
+
+// sortedOps returns ops ordered by the claim key, reusing the input slice
+// when it is already sorted (the Diff invariant) and cloning otherwise, so
+// hand-assembled deltas apply too.
+func sortedOps[T any](ops []T, key func(*T) *Claim) []T {
+	sorted := sort.SliceIsSorted(ops, func(a, b int) bool {
+		return claimKeyLess(key(&ops[a]), key(&ops[b]))
+	})
+	if sorted {
+		return ops
+	}
+	out := append([]T(nil), ops...)
+	sort.Slice(out, func(a, b int) bool { return claimKeyLess(key(&out[a]), key(&out[b])) })
+	return out
+}
+
+// Apply replays a delta onto s, returning the target snapshot. The merge is
+// a single linear pass that verifies every operation against the base:
+// retractions and changes must match an existing claim exactly, and
+// additions must not collide with a surviving claim. The returned
+// snapshot's claims are built directly in sorted order (no re-sort), so
+// Diff-then-Apply reproduces the target snapshot exactly, index included.
+func (s *Snapshot) Apply(d *Delta) (*Snapshot, error) {
+	if s.numItems != d.NumItems {
+		return nil, fmt.Errorf("model: delta for %d items applied to snapshot with %d",
+			d.NumItems, s.numItems)
+	}
+	claims := make([]Claim, 0, len(s.Claims)+len(d.Added)-len(d.Retracted))
+	add := sortedOps(d.Added, func(c *Claim) *Claim { return c })
+	ret := sortedOps(d.Retracted, func(c *Claim) *Claim { return c })
+	chg := sortedOps(d.Changed, func(v *ValueChange) *Claim { return &v.Old })
+	// Duplicate keys inside Added would slip past the per-claim collision
+	// check below (it only compares against surviving base claims) and
+	// break the snapshot's unique-key invariant.
+	for i := 1; i < len(add); i++ {
+		if sameKey(&add[i-1], &add[i]) {
+			return nil, fmt.Errorf("model: delta adds (item %d, source %d) twice",
+				add[i].Item, add[i].Source)
+		}
+	}
+
+	// emit appends c, interleaving any pending additions that sort before it.
+	emit := func(c *Claim) error {
+		for len(add) > 0 && claimKeyLess(&add[0], c) {
+			claims = append(claims, add[0])
+			add = add[1:]
+		}
+		if len(add) > 0 && sameKey(&add[0], c) {
+			return fmt.Errorf("model: delta adds claim (item %d, source %d) that already exists",
+				add[0].Item, add[0].Source)
+		}
+		claims = append(claims, *c)
+		return nil
+	}
+
+	for i := range s.Claims {
+		c := &s.Claims[i]
+		if len(ret) > 0 && sameKey(&ret[0], c) {
+			if ret[0] != *c {
+				return nil, fmt.Errorf("model: delta retracts (item %d, source %d) with a stale payload",
+					c.Item, c.Source)
+			}
+			ret = ret[1:]
+			continue
+		}
+		if len(chg) > 0 && sameKey(&chg[0].Old, c) {
+			if chg[0].Old != *c {
+				return nil, fmt.Errorf("model: delta changes (item %d, source %d) from a stale payload",
+					c.Item, c.Source)
+			}
+			if err := emit(&chg[0].New); err != nil {
+				return nil, err
+			}
+			chg = chg[1:]
+			continue
+		}
+		if err := emit(c); err != nil {
+			return nil, err
+		}
+	}
+	claims = append(claims, add...)
+
+	if len(ret) > 0 {
+		return nil, fmt.Errorf("model: delta retracts (item %d, source %d), absent from the base",
+			ret[0].Item, ret[0].Source)
+	}
+	if len(chg) > 0 {
+		return nil, fmt.Errorf("model: delta changes (item %d, source %d), absent from the base",
+			chg[0].Old.Item, chg[0].Old.Source)
+	}
+
+	out := &Snapshot{Day: d.ToDay, Label: d.ToLabel, Claims: claims, numItems: s.numItems}
+	out.buildIndex()
+	return out, nil
+}

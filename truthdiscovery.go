@@ -91,7 +91,14 @@ func MethodByName(name string) (FusionMethod, bool) { return fusion.ByName(name)
 type Builder struct {
 	ds     *model.Dataset
 	claims []model.Claim
+	days   []dayClaims // sealed days for BuildStream (see EndDay)
 	err    error
+}
+
+// dayClaims is one sealed day of a streaming build.
+type dayClaims struct {
+	label  string
+	claims []model.Claim
 }
 
 // NewBuilder starts a dataset for the named domain.
@@ -190,6 +197,12 @@ type FuseOptions struct {
 	// 0 (the default) uses GOMAXPROCS, 1 forces the exact serial path.
 	// Results are bit-identical at any setting.
 	Parallelism int
+	// TrustTolerance (FuseIncremental only) enables the approximate
+	// dirty-only warm path: the ACCU-family methods re-run the posterior
+	// phase only for changed items while no source trust drifts more than
+	// this from the previous state, falling back to full re-fusion past
+	// it. 0 (the default) keeps incremental answers bit-identical to Fuse.
+	TrustTolerance float64
 }
 
 // Fuse resolves conflicts in a snapshot with the named method and returns
@@ -208,6 +221,11 @@ func Fuse(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answe
 		fo.InputAttrTrust = fusion.SampleAttrAccuracy(ds, snap, p, opts.Gold)
 	}
 	res := m.Run(p, fo)
+	return answersFor(ds, p, res), nil
+}
+
+// answersFor renders a fusion result as one Answer per claimed item.
+func answersFor(ds *Dataset, p *fusion.Problem, res *fusion.Result) []Answer {
 	answers := make([]Answer, len(p.Items))
 	for i := range p.Items {
 		it := &p.Items[i]
@@ -221,7 +239,7 @@ func Fuse(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answe
 			Providers: it.Providers,
 		}
 	}
-	return answers, nil
+	return answers
 }
 
 // EvaluateAgainst scores fused answers against a gold standard, returning
