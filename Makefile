@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench benchpairs benchgate examples lint fmt ci
+.PHONY: build test race bench benchpairs benchgate bench-profile examples lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -20,18 +20,32 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# The serial/parallel and full/incremental benchmark pairs, at 1 and 4
-# cores — the multi-core trajectory CI records per push (bench.txt).
-# pipefail keeps a failed/panicking bench run from hiding behind tee.
+# The serial/parallel, full/incremental and sorted/unsorted-Apply
+# benchmark pairs, at 1 and 4 cores — the multi-core trajectory CI
+# records per push (bench.txt). -benchmem records allocs/op, which the
+# gate compares raw since allocation counts are hardware-independent
+# (whole-Run benches allocate their per-run scratch, so the counts are
+# small but nonzero; the per-round zero-alloc property itself is
+# asserted by internal/fusion/alloc_test.go). pipefail keeps a
+# failed/panicking bench run from hiding behind tee.
 benchpairs: SHELL := /bin/bash
 benchpairs:
-	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental)' -cpu=1,4 -benchtime=3x . | tee bench.txt
+	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental|SnapshotApply)' -cpu=1,4 -benchtime=3x -benchmem . ./internal/model | tee bench.txt
 
 # Regression gate: hardware-normalised ns/op against the committed
 # baseline (see cmd/benchdiff). BENCH is the candidate JSON.
 BENCH ?= bench.json
 benchgate:
 	$(GO) run ./cmd/benchdiff -old testdata/bench_baseline.json -new $(BENCH) -threshold 1.20
+
+# CPU + allocation profiles of the hottest fusion loops. CI uploads the
+# pprof files (plus the test binary that resolves their symbols) per
+# push, so a layout regression can be diagnosed straight from the run
+# page with `go tool pprof truthdiscovery.test cpu.pprof`.
+bench-profile:
+	$(GO) test -run='^$$' \
+		-bench='BenchmarkFusionAccuFormatAttrSerial|BenchmarkMethodAccuPr$$|BenchmarkMethodCosine$$|BenchmarkMethodTwoEstimates$$' \
+		-benchtime=5x -benchmem -cpuprofile=cpu.pprof -memprofile=mem.pprof .
 
 # Smoke-run every example program (tier-1 only builds them).
 examples:

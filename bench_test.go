@@ -43,6 +43,7 @@ func benchExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var rep *report.Report
 	for i := 0; i < b.N; i++ {
@@ -93,6 +94,7 @@ func benchMethod(b *testing.B, name string) {
 		b.Fatalf("unknown method %s", name)
 	}
 	opts := d.FusionOptions(name, false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := m.Run(p, opts)
@@ -124,6 +126,7 @@ func BenchmarkMethodAccuCopy(b *testing.B)       { benchMethod(b, "AccuCopy") }
 func BenchmarkStockSnapshotGeneration(b *testing.B) {
 	sim := SimulateStock(StockOptions{Seed: 1, Stocks: 200, Days: 1, GoldSymbols: 50})
 	_ = sim
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := SimulateStock(StockOptions{Seed: 1, Stocks: 200, Days: 1, GoldSymbols: 50})
@@ -134,6 +137,7 @@ func BenchmarkStockSnapshotGeneration(b *testing.B) {
 }
 
 func BenchmarkFlightSnapshotGeneration(b *testing.B) {
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := SimulateFlight(FlightOptions{Seed: 1, Flights: 300, Days: 1, GoldFlights: 60})
@@ -146,6 +150,7 @@ func BenchmarkFlightSnapshotGeneration(b *testing.B) {
 func BenchmarkProblemBuild(b *testing.B) {
 	env := benchEnviron(b)
 	d := env.Stock()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := fusion.Build(d.DS, d.Snap, d.Fused,
@@ -168,6 +173,7 @@ func BenchmarkMethodEnsemble(b *testing.B) {
 	d := env.Stock()
 	p := d.Problem()
 	m := fusion.Ensemble{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if res := m.Run(p, fusion.Options{}); len(res.Chosen) != len(p.Items) {
@@ -179,6 +185,7 @@ func BenchmarkMethodEnsemble(b *testing.B) {
 func BenchmarkSeedTrustComputation(b *testing.B) {
 	env := benchEnviron(b)
 	p := env.Stock().Problem()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if seed := fusion.SeedTrust(p, 0.75); len(seed) != len(p.SourceIDs) {
@@ -200,6 +207,7 @@ func benchCopyDetect(b *testing.B, parallelism int) {
 	p := d.Problem()
 	acc := d.SampledAccuracy()
 	chosen := make([]int32, len(p.Items))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dep := fusion.DebugDetect(p, chosen, acc, fusion.Options{Parallelism: parallelism})
@@ -218,6 +226,7 @@ func benchFusionIteration(b *testing.B, parallelism int) {
 	d := env.Stock()
 	p := d.Problem()
 	m, _ := fusion.ByName("AccuFormatAttr")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := m.Run(p, fusion.Options{Parallelism: parallelism})
@@ -237,6 +246,7 @@ func benchAccuCopyRun(b *testing.B, parallelism int) {
 	d := env.Stock()
 	p := d.Problem()
 	m, _ := fusion.ByName("AccuCopy")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := m.Run(p, fusion.Options{Parallelism: parallelism})
@@ -290,6 +300,7 @@ func benchRegenerate(b *testing.B, parallelism int) {
 		}
 		xs = append(xs, x)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		reps := experiments.RunAll(env, xs, parallelism)
@@ -435,6 +446,7 @@ func benchIncrementalFull(b *testing.B, method string) {
 	if !ok {
 		b.Fatalf("unknown method %s", method)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, snap := range snaps {
@@ -455,6 +467,7 @@ func benchIncrementalDelta(b *testing.B, method string) {
 		b.Fatalf("unknown method %s", method)
 	}
 	var dirty, total int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := fusion.NewState(ds, snaps[0], nil, m, fusion.Options{})

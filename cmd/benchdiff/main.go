@@ -17,6 +17,13 @@
 // and the gate fires on the ratio of those ratios. A benchmark twice as
 // slow on a machine where the reference is also twice as slow is not a
 // regression. Absolute ns/op stay in the JSON for trajectory tracking.
+//
+// allocs/op (from -benchmem) is parsed and gated too, but raw: allocation
+// counts do not depend on the machine. A benchmark recorded at zero
+// allocs/op fails on any growth; the rest fail on the same threshold
+// factor. (The committed pairs measure whole Runs, which allocate their
+// per-run scratch once — the warm-round zero-alloc property is asserted
+// directly by internal/fusion/alloc_test.go.)
 package main
 
 import (
@@ -41,10 +48,16 @@ type Record struct {
 	// Benchmarks maps the full benchmark name (including any -N cpu
 	// suffix) to ns/op.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Allocs maps the benchmark name to allocs/op (present when the run
+	// used -benchmem). Unlike ns/op, allocation counts are hardware-
+	// independent, so the gate compares them raw: a zero-alloc loop may
+	// not regress at all, everything else by at most the threshold.
+	Allocs map[string]float64 `json:"allocs,omitempty"`
 }
 
-// benchLine matches e.g. "BenchmarkFoo-4   	     123	   9876543 ns/op	 3.5 dirty%/day".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches e.g.
+// "BenchmarkFoo-4   123  9876543 ns/op  3.5 dirty%/day  120 B/op  7 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
 
 // cpuLine captures the "cpu: ..." header go test prints.
 var cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
@@ -124,6 +137,14 @@ func parseBench(path string) (*Record, error) {
 			continue
 		}
 		rec.Benchmarks[m[1]] = ns
+		if m[3] != "" {
+			if allocs, err := strconv.ParseFloat(m[3], 64); err == nil {
+				if rec.Allocs == nil {
+					rec.Allocs = map[string]float64{}
+				}
+				rec.Allocs[m[1]] = allocs
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -233,6 +254,46 @@ func compare(oldRec, newRec *Record, ref string, threshold float64) bool {
 	}
 	if !ok {
 		fmt.Printf("benchdiff: normalised regression past %.2fx (reference %s)\n", threshold, ref)
+	}
+	if !compareAllocs(oldRec, newRec, threshold) {
+		ok = false
+	}
+	return ok
+}
+
+// compareAllocs gates allocs/op raw (allocation counts are hardware-
+// independent): a benchmark recorded at zero allocs/op must stay at
+// zero, and everything else may grow by at most the threshold factor —
+// with per-run scratch hoisted out of the round loops, a Run's count is
+// a small constant, so a layout regression blows well past it.
+func compareAllocs(oldRec, newRec *Record, threshold float64) bool {
+	names := make([]string, 0, len(newRec.Allocs))
+	for name := range newRec.Allocs {
+		if _, ok := oldRec.Allocs[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return true // baseline predates alloc tracking; nothing to gate
+	}
+	sort.Strings(names)
+	ok := true
+	fmt.Printf("\n%-50s %12s %12s\n", "benchmark", "old allocs", "new allocs")
+	for _, name := range names {
+		oldA, newA := oldRec.Allocs[name], newRec.Allocs[name]
+		verdict := ""
+		switch {
+		case oldA == 0 && newA > 0:
+			verdict = "  REGRESSION (zero-alloc loop now allocates)"
+			ok = false
+		case oldA > 0 && newA > oldA*threshold:
+			verdict = "  REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-50s %12.0f %12.0f%s\n", name, oldA, newA, verdict)
+	}
+	if !ok {
+		fmt.Printf("benchdiff: allocs/op regression past %.2fx (zero-alloc loops gate at any growth)\n", threshold)
 	}
 	return ok
 }

@@ -336,7 +336,7 @@ func similarFalseMass(p *fusion.Problem, i int, chosen int32) float64 {
 	var mass float64
 	for b := range p.Items[i].Buckets {
 		if int32(b) != chosen {
-			mass += float64(p.Sim[i][chosen][b]) * float64(len(p.Items[i].Buckets[b].Sources))
+			mass += float64(p.SimAt(i, int(chosen), b)) * float64(len(p.Items[i].Buckets[b].Sources))
 		}
 	}
 	return mass

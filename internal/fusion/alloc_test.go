@@ -1,0 +1,166 @@
+package fusion
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"truthdiscovery/internal/model"
+)
+
+// The flat-arena layout exists so the round loops are allocation-free
+// once warm: every buffer a round touches is allocated before the first
+// round and reused. These tests pin that property down with
+// testing.AllocsPerRun, and pin the arena layout itself with a
+// field-for-field comparison against the old jagged construction.
+
+// allocProblem builds a moderately sized problem on the simulated churn
+// world (all aux structures, so every method can run).
+func allocProblem(t *testing.T) *Problem {
+	t.Helper()
+	ds, snaps := incWorld(t, 3, 1)
+	return Build(ds, snaps[0], nil, BuildOptions{NeedSimilarity: true, NeedFormat: true})
+}
+
+// warmRoundAllocs returns the per-round allocation rate of the warm
+// iteration: the difference in Run's allocation count between a 12-round
+// and a 2-round serial run, divided by the extra rounds. Zero means the
+// steady-state iteration allocates nothing after its first rounds.
+// Epsilon is driven (effectively) to zero so the iteration cannot
+// converge early.
+func warmRoundAllocs(t *testing.T, m Method, p *Problem) float64 {
+	t.Helper()
+	opts := func(rounds int) Options {
+		return Options{Parallelism: 1, MaxRounds: rounds, Epsilon: 1e-300}
+	}
+	// Some configs hit an exact floating-point fixpoint before 12 rounds
+	// (clamped trust entries stop moving); measure up to whatever round
+	// count actually executes.
+	hi := m.Run(p, opts(12)).Rounds
+	if hi < 4 {
+		t.Fatalf("%s: exact fixpoint after %d rounds; too few to differentiate", m.Name(), hi)
+	}
+	short := testing.AllocsPerRun(5, func() { m.Run(p, opts(2)) })
+	long := testing.AllocsPerRun(5, func() { m.Run(p, opts(hi)) })
+	return (long - short) / float64(hi-2)
+}
+
+// TestWarmRoundsAllocationFree asserts the tentpole property for every
+// iterative method of the roster: ten extra warm rounds on the serial
+// path allocate zero bytes. (AccuCopy is excluded — its detection rounds
+// rebuild the copy-weight structures until the freeze — and Vote has no
+// rounds; see TestVoteAllocationProfile.)
+func TestWarmRoundsAllocationFree(t *testing.T) {
+	p := allocProblem(t)
+	for _, name := range []string{
+		"Hub", "AvgLog", "Invest", "PooledInvest",
+		"Cosine", "2-Estimates", "3-Estimates",
+		"TruthFinder", "AccuPr", "PopAccu", "AccuSim",
+		"AccuFormat", "AccuSimAttr", "AccuFormatAttr",
+	} {
+		m, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown method %s", name)
+		}
+		// A strict zero would be ideal, but AllocsPerRun occasionally
+		// reads an object or two of runtime jitter across a whole run; a
+		// genuine per-round allocation shows up as a rate >= 1.
+		if rate := warmRoundAllocs(t, m, p); rate >= 0.5 {
+			t.Errorf("%s: warm rounds allocate %.2f objects/round, want 0", name, rate)
+		}
+	}
+}
+
+// TestVoteAllocationProfile: VOTE's warm path is the incremental
+// RunItems, which must not allocate at all; its full Run allocates only
+// the chosen vector and the Result.
+func TestVoteAllocationProfile(t *testing.T) {
+	p := allocProblem(t)
+	idx := make([]int, len(p.Items))
+	for i := range idx {
+		idx[i] = i
+	}
+	chosen := make([]int32, len(p.Items))
+	opts := Options{Parallelism: 1}
+	if a := testing.AllocsPerRun(10, func() { Vote{}.RunItems(p, opts, idx, chosen) }); a != 0 {
+		t.Errorf("Vote.RunItems allocated %.1f objects per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(10, func() { Vote{}.Run(p, opts) }); a > 2 {
+		t.Errorf("Vote.Run allocated %.1f objects per run, want <= 2 (chosen + Result)", a)
+	}
+}
+
+// TestBuildArenaMatchesJagged: Build's arena-compacted problem must equal
+// a problem assembled item by item with fresh allocations (the old
+// layout) field for field, and its views must actually be contiguous in
+// one arena.
+func TestBuildArenaMatchesJagged(t *testing.T) {
+	ds, snaps := incWorld(t, 5, 1)
+	opts := BuildOptions{NeedSimilarity: true, NeedFormat: true}
+	got := Build(ds, snaps[0], nil, opts)
+
+	// The jagged reference: Build's exact body minus compact.
+	want := &Problem{NumAttrs: len(ds.Attrs)}
+	want.SourceIDs = got.SourceIDs
+	denseOf := make([]int32, len(ds.Sources))
+	for i := range denseOf {
+		denseOf[i] = -1
+	}
+	for i, s := range want.SourceIDs {
+		denseOf[s] = int32(i)
+	}
+	var scratch itemScratch
+	for id := 0; id < snaps[0].NumItems(); id++ {
+		if it, ok := bucketizeItem(ds, snaps[0], model.ItemID(id), denseOf, &scratch); ok {
+			want.Items = append(want.Items, it)
+		}
+	}
+	countClaims(want)
+	assignCats(want, ds)
+	buildAux(want, opts)
+	indexBuckets(want)
+
+	sameProblem(t, "arena vs jagged", got, want)
+	if !reflect.DeepEqual(got.BucketOff, want.BucketOff) {
+		t.Fatal("BucketOff differs between arena and jagged builds")
+	}
+	if got.maxBuckets != want.maxBuckets {
+		t.Fatalf("maxBuckets %d vs %d", got.maxBuckets, want.maxBuckets)
+	}
+
+	// Layout proof: consecutive items' bucket views sit back to back in
+	// one flat arena (ditto the per-bucket source views), which is what
+	// the jagged reference never does.
+	for i := 0; i+1 < len(got.Items); i++ {
+		a, b := got.Items[i].Buckets, got.Items[i+1].Buckets
+		end := uintptr(unsafe.Pointer(&a[0])) + uintptr(len(a))*unsafe.Sizeof(a[0])
+		if uintptr(unsafe.Pointer(&b[0])) != end {
+			t.Fatalf("bucket views of items %d and %d are not contiguous", i, i+1)
+		}
+	}
+	var prevEnd uintptr
+	for i := range got.Items {
+		for _, bk := range got.Items[i].Buckets {
+			if len(bk.Sources) == 0 {
+				continue
+			}
+			start := uintptr(unsafe.Pointer(&bk.Sources[0]))
+			if prevEnd != 0 && start != prevEnd {
+				t.Fatal("source views are not contiguous in the int32 arena")
+			}
+			prevEnd = start + uintptr(len(bk.Sources))*unsafe.Sizeof(bk.Sources[0])
+		}
+	}
+
+	// The vote space spans exactly the bucket count and row views line up
+	// with BucketOff.
+	vs := newVoteSpace(got)
+	if len(vs.flat) != got.NumBuckets() {
+		t.Fatalf("vote space len %d, want %d", len(vs.flat), got.NumBuckets())
+	}
+	for i := range got.Items {
+		if len(vs.row(i)) != len(got.Items[i].Buckets) {
+			t.Fatalf("vote row %d len %d, want %d", i, len(vs.row(i)), len(got.Items[i].Buckets))
+		}
+	}
+}

@@ -40,44 +40,55 @@ func (TruthFinder) Run(p *Problem, opts Options) *Result {
 	start := time.Now()
 	n := len(p.SourceIDs)
 	tau := initTrust(n, opts.startTrust(), tfInitial)
+	next := make([]float64, n)
+	cnt := make([]float64, n)
 	conf := newVoteSpace(p)
+	temps := newWorkerRows(p, opts.Parallelism)
 	res := &Result{Method: "TruthFinder"}
+
+	// Per-item confidence phase: every item only reads the shared tau,
+	// writes its own conf row and fully rewrites its worker's raw-score
+	// temp, so the loop fans out with bit-identical results at any
+	// parallelism.
+	confPhase := func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := &p.Items[i]
+			nb := len(it.Buckets)
+			row := conf.row(i)
+			sim := p.Sim[i]
+			raw := temps.rows[worker][:nb]
+			clear(raw)
+			for b, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					raw[b] += -math.Log(1 - math.Min(tau[s], tfMaxTau))
+				}
+			}
+			for b := 0; b < nb; b++ {
+				adj := raw[b]
+				for b2 := 0; b2 < nb; b2++ {
+					if b2 != b {
+						adj += tfRho * float64(sim[b*nb+b2]) * raw[b2]
+					}
+				}
+				row[b] = 1 / (1 + math.Exp(-tfGamma*adj))
+			}
+		}
+	}
 
 	for round := 1; ; round++ {
 		res.Rounds = round
-		// Per-item confidence phase: every item only reads the shared tau
-		// and writes its own conf[i] row, so the loop fans out with
-		// bit-identical results at any parallelism.
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				it := &p.Items[i]
-				raw := make([]float64, len(it.Buckets))
-				for b, bk := range it.Buckets {
-					for _, s := range bk.Sources {
-						raw[b] += -math.Log(1 - math.Min(tau[s], tfMaxTau))
-					}
-				}
-				for b := range it.Buckets {
-					adj := raw[b]
-					for b2 := range it.Buckets {
-						if b2 != b {
-							adj += tfRho * float64(p.Sim[i][b][b2]) * raw[b2]
-						}
-					}
-					conf[i][b] = 1 / (1 + math.Exp(-tfGamma*adj))
-				}
-			}
-		})
+		parallel.ForWorker(len(p.Items), temps.workers, confPhase)
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
 		}
-		next := make([]float64, n)
-		cnt := make([]float64, n)
+		clear(next)
+		clear(cnt)
 		for i := range p.Items {
+			row := conf.row(i)
 			for b, bk := range p.Items[i].Buckets {
 				for _, s := range bk.Sources {
-					next[s] += conf[i][b]
+					next[s] += row[b]
 					cnt[s]++
 				}
 			}
@@ -88,7 +99,7 @@ func (TruthFinder) Run(p *Problem, opts Options) *Result {
 			}
 		}
 		delta := maxDelta(tau, next)
-		tau = next
+		tau, next = next, tau
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
 			res.Converged = delta < opts.Epsilon
 			break
@@ -219,6 +230,31 @@ func (t *accuTrust) of(s int32, key int32) float64 {
 	return t.global[s]
 }
 
+// accuScratch is the ACCU engine's per-run pool: the trust re-estimation
+// accumulators (flattened to source-major [source*numKeys+key] for the
+// keyed variants) and the per-worker similarity-boost temps. accuIterate
+// and accuWarm allocate it once and reuse it every round.
+type accuScratch struct {
+	next  []float64
+	cnt   []float64
+	temps workerRows
+}
+
+func newAccuScratch(p *Problem, numKeys, parallelism int) *accuScratch {
+	width := len(p.SourceIDs)
+	if numKeys > 0 {
+		width *= numKeys
+	}
+	return &accuScratch{
+		next: make([]float64, width),
+		cnt:  make([]float64, width),
+		// Allocated for every config (a few cache lines): the posterior
+		// phase fans out by temps.workers, and only the sim configs ever
+		// read the rows.
+		temps: newWorkerRows(p, parallelism),
+	}
+}
+
 // accuRun is the shared ACCU-family engine. weights, when non-nil, scales
 // each claim's vote (ACCUCOPY's independence probabilities); it is indexed
 // like the problem's buckets via claimWeight.
@@ -266,7 +302,7 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 	}
 	trustGiven := opts.InputTrust != nil || (cfg.perAttr && opts.InputAttrTrust != nil)
 
-	probs := newVoteSpace(p)
+	probs := newProbRows(p)
 	// Seed probabilities with provider shares (the VOTE prior) so that the
 	// first detection round of ACCUCOPY sees sensible uncertainty.
 	for i := range p.Items {
@@ -278,25 +314,17 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 	chosen := make([]int32, len(p.Items)) // starts at the dominant bucket
 	res := &Result{Method: cfg.name}
 	logN := math.Log(opts.NFalse)
+	sc := newAccuScratch(p, numKeys, opts.Parallelism)
 
 	var weights claimWeights
+	postPhase := accuPostPhase(p, opts, cfg, trust, keyOf, logN, sc, probs, chosen, nil, &weights)
+
 	for round := 1; ; round++ {
 		res.Rounds = round
 		if weigh != nil {
 			weights = weigh(round, trust, probs, chosen)
 		}
-		// Per-item posterior phase: item i reads the (stable) trust state
-		// and claim weights and writes only probs[i] and chosen[i], so the
-		// loop fans out with bit-identical results at any parallelism.
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				var w [][]float64
-				if weights != nil {
-					w = weights[i]
-				}
-				chosen[i] = accuPosterior(p, i, opts, cfg, trust, keyOf(i), logN, w, probs[i])
-			}
-		})
+		parallel.ForWorker(len(p.Items), sc.temps.workers, postPhase)
 
 		if trustGiven {
 			// With sampled trust there is no estimation loop; ACCUCOPY
@@ -308,7 +336,7 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 			continue
 		}
 
-		delta := accuReestimate(p, trust, probs, keyOf, numKeys)
+		delta := accuReestimate(p, trust, probs, keyOf, numKeys, sc)
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
 			res.Converged = delta < opts.Epsilon
 			break
@@ -317,6 +345,34 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 
 	accuFinish(p, cfg, trust, probs, chosen, keyOf, res)
 	return res
+}
+
+// accuPostPhase builds the per-item posterior phase shared by the cold
+// (accuIterate) and warm (accuWarm) paths: item i reads the (stable)
+// trust state and claim weights, writes only probs[i] and chosen[i], and
+// fully rewrites its worker's boost temp, so the loop fans out with
+// bit-identical results at any parallelism. idx maps loop positions to
+// item indices (nil = identity — the cold path's full sweep); weights
+// points at the caller's per-round claim weights variable (nil when the
+// path never weighs claims).
+func accuPostPhase(p *Problem, opts Options, cfg accuConfig, trust *accuTrust,
+	keyOf func(int) int32, logN float64, sc *accuScratch,
+	probs [][]float64, chosen []int32, idx []int, weights *claimWeights) func(worker, lo, hi int) {
+
+	return func(worker, lo, hi int) {
+		tmp := sc.temps.rows[worker]
+		for k := lo; k < hi; k++ {
+			i := k
+			if idx != nil {
+				i = idx[k]
+			}
+			var w [][]float64
+			if weights != nil && *weights != nil {
+				w = (*weights)[i]
+			}
+			chosen[i] = accuPosterior(p, i, opts, cfg, trust, keyOf(i), logN, w, probs[i], tmp)
+		}
+	}
 }
 
 // keySetup resolves the trust key space of an ACCU-family config: the
@@ -347,9 +403,11 @@ func keySetup(p *Problem, cfg accuConfig) (numKeys int, keyOf func(int) int32) {
 // returns the winning bucket. It is a pure function of the item's buckets,
 // the trust entries of its providers, its aux structures and the supplied
 // claim weights — the invariant the incremental engine's dirty-item
-// tracking relies on.
+// tracking relies on. tmp is the caller's per-worker boost buffer (at
+// least MaxBuckets wide) for the similarity configs; it is fully
+// rewritten here.
 func accuPosterior(p *Problem, i int, opts Options, cfg accuConfig, trust *accuTrust,
-	key int32, logN float64, w [][]float64, scores []float64) int32 {
+	key int32, logN float64, w [][]float64, scores []float64, tmp []float64) int32 {
 
 	it := &p.Items[i]
 	m := float64(it.Providers)
@@ -382,12 +440,17 @@ func accuPosterior(p *Problem, i int, opts Options, cfg accuConfig, trust *accuT
 		scores[b] = l
 	}
 	if cfg.sim {
-		boosted := make([]float64, len(it.Buckets))
-		for b := range it.Buckets {
+		nb := len(it.Buckets)
+		if cap(tmp) < nb {
+			tmp = make([]float64, nb)
+		}
+		boosted := tmp[:nb]
+		sim := p.Sim[i]
+		for b := 0; b < nb; b++ {
 			boost := scores[b]
-			for b2 := range it.Buckets {
+			for b2 := 0; b2 < nb; b2++ {
 				if b2 != b {
-					boost += opts.SimWeight * float64(p.Sim[i][b][b2]) * scores[b2]
+					boost += opts.SimWeight * float64(sim[b*nb+b2]) * scores[b2]
 				}
 			}
 			boosted[b] = boost
@@ -404,36 +467,34 @@ func accuPosterior(p *Problem, i int, opts Options, cfg accuConfig, trust *accuT
 }
 
 // accuReestimate recomputes trust from the current posteriors (the M-step
-// of the Bayesian iteration) and returns the largest per-entry move. The
-// accumulation order is the item order, independent of any parallelism.
-func accuReestimate(p *Problem, trust *accuTrust, probs [][]float64, keyOf func(int) int32, numKeys int) float64 {
-	n := len(trust.global)
-	if trust.keyed {
-		n = len(trust.byKey)
-	}
+// of the Bayesian iteration) into the scratch accumulators and returns
+// the largest per-entry move. The accumulation order is the item order,
+// independent of any parallelism.
+func accuReestimate(p *Problem, trust *accuTrust, probs [][]float64,
+	keyOf func(int) int32, numKeys int, sc *accuScratch) float64 {
+
 	var delta float64
 	if trust.keyed {
-		next := make([][]float64, n)
-		cnt := make([][]float64, n)
-		for s := 0; s < n; s++ {
-			next[s] = make([]float64, numKeys)
-			cnt[s] = make([]float64, numKeys)
-		}
+		n := len(trust.byKey)
+		next, cnt := sc.next, sc.cnt
+		clear(next)
+		clear(cnt)
 		for i := range p.Items {
 			it := &p.Items[i]
-			key := keyOf(i)
+			key := int(keyOf(i))
+			row := probs[i]
 			for b, bk := range it.Buckets {
 				for _, s := range bk.Sources {
-					next[s][key] += probs[i][b]
-					cnt[s][key]++
+					next[int(s)*numKeys+key] += row[b]
+					cnt[int(s)*numKeys+key]++
 				}
 			}
 		}
 		for s := 0; s < n; s++ {
 			for a := 0; a < numKeys; a++ {
 				var v float64
-				if cnt[s][a] > 0 {
-					v = clampTrust(next[s][a]/cnt[s][a], 0.01, 0.99)
+				if cnt[s*numKeys+a] > 0 {
+					v = clampTrust(next[s*numKeys+a]/cnt[s*numKeys+a], 0.01, 0.99)
 				} else {
 					v = trust.byKey[s][a]
 				}
@@ -445,12 +506,14 @@ func accuReestimate(p *Problem, trust *accuTrust, probs [][]float64, keyOf func(
 		}
 		return delta
 	}
-	next := make([]float64, n)
-	cnt := make([]float64, n)
+	next, cnt := sc.next, sc.cnt
+	clear(next)
+	clear(cnt)
 	for i := range p.Items {
+		row := probs[i]
 		for b, bk := range p.Items[i].Buckets {
 			for _, s := range bk.Sources {
-				next[s] += probs[i][b]
+				next[s] += row[b]
 				cnt[s]++
 			}
 		}
@@ -463,7 +526,7 @@ func accuReestimate(p *Problem, trust *accuTrust, probs [][]float64, keyOf func(
 		}
 	}
 	delta = maxDelta(trust.global, next)
-	trust.global = next
+	trust.global, sc.next = next, trust.global
 	return delta
 }
 

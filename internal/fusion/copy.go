@@ -255,44 +255,16 @@ func filterProblem(p *Problem, ignore []bool) *Problem {
 			Buckets: buckets, Providers: providers,
 		})
 	}
-	if needSim {
-		out.Sim = make([][][]float32, len(out.Items))
-		for i := range out.Items {
-			it := &out.Items[i]
-			n := len(it.Buckets)
-			sim := make([][]float32, n)
-			for a := 0; a < n; a++ {
-				sim[a] = make([]float32, n)
-				for b := 0; b < n; b++ {
-					if a != b {
-						sim[a][b] = float32(value.Similarity(it.Buckets[a].Rep, it.Buckets[b].Rep, it.Tol))
-					}
-				}
-			}
-			out.Sim[i] = sim
-		}
-	}
-	if needFmt {
-		out.Format = make([][]FormatPair, len(out.Items))
-		for i := range out.Items {
-			it := &out.Items[i]
-			var pairs []FormatPair
-			for a := range it.Buckets {
-				for b := range it.Buckets {
-					if a != b && value.RoundsTo(it.Buckets[a].Rep, it.Buckets[b].Rep) {
-						pairs = append(pairs, FormatPair{Fine: int32(a), Coarse: int32(b)})
-					}
-				}
-			}
-			out.Format[i] = pairs
-		}
-	}
+	// Aux structures and the arena compaction: the filtered problem is a
+	// first-class Problem, so it gets the same flat layout as Build's.
+	buildAux(out, BuildOptions{NeedSimilarity: needSim, NeedFormat: needFmt, Parallelism: 1})
+	compact(out)
 	return out
 }
 
 // DebugDetect exposes the detection step for diagnostics and tests.
 func DebugDetect(p *Problem, chosen []int32, acc []float64, opts Options) [][]float64 {
-	probs := newVoteSpace(p)
+	probs := newProbRows(p)
 	for i := range p.Items {
 		it := &p.Items[i]
 		for b, bk := range it.Buckets {

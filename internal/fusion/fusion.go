@@ -21,6 +21,14 @@ import (
 
 // Problem is the fusion input: every claimed item with its value buckets,
 // restricted to the participating sources.
+//
+// Memory layout: Build lays every bucket in one flat []Bucket arena and
+// every dense source index in one flat []int32 arena (CSR style), with
+// Items[i].Buckets and Bucket.Sources as capacity-capped views into them,
+// so the iteration loops walk contiguous memory instead of a pointer
+// forest. The views are ordinary slices: incremental maintenance
+// (UpdateProblem) repoints dirty items at fresh small allocations while
+// clean items keep sharing the arena bit-for-bit.
 type Problem struct {
 	// SourceIDs maps the problem's dense source index to dataset SourceIDs.
 	SourceIDs []model.SourceID
@@ -37,13 +45,34 @@ type Problem struct {
 	Cats     []int32
 	CatNames []string
 
-	// Sim[i][b][b2] is the value similarity between buckets b and b2 of
-	// item i; nil unless built with NeedSimilarity.
-	Sim [][][]float32
+	// BucketOff[i]..BucketOff[i+1] is item i's span in any flat per-bucket
+	// vector — a method's vote space, the 2-/3-Estimates rescale phases —
+	// computed once at build time (len(Items)+1 entries).
+	BucketOff []int32
+	// maxBuckets is the largest per-item bucket count, the width of the
+	// per-worker temporary rows every method's scratch carries.
+	maxBuckets int
+
+	// Sim[i] is item i's bucket-similarity matrix, flattened row-major
+	// (len n*n for n = len(Items[i].Buckets); see SimAt); nil unless built
+	// with NeedSimilarity. Build compacts all matrices into one arena.
+	Sim [][]float32
 	// Format[i] lists the format-subsumption pairs of item i (fine bucket
 	// supported by coarse bucket); nil unless built with NeedFormat.
 	Format [][]FormatPair
 }
+
+// SimAt returns the value similarity between buckets a and b of item i.
+func (p *Problem) SimAt(i, a, b int) float32 {
+	return p.Sim[i][a*len(p.Items[i].Buckets)+b]
+}
+
+// NumBuckets returns the total bucket count across all items — the length
+// of a flat per-bucket vector laid out by BucketOff.
+func (p *Problem) NumBuckets() int { return int(p.BucketOff[len(p.Items)]) }
+
+// MaxBuckets returns the largest per-item bucket count.
+func (p *Problem) MaxBuckets() int { return p.maxBuckets }
 
 // ProblemItem is one data item's bucketed claims.
 type ProblemItem struct {
@@ -112,7 +141,80 @@ func Build(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID, op
 	assignCats(p, ds)
 
 	buildAux(p, opts)
+	compact(p)
 	return p
+}
+
+// indexBuckets computes BucketOff and maxBuckets from the item list.
+// Build, UpdateProblem and filterProblem all finish with it, so every
+// Problem supports flat per-bucket vectors.
+func indexBuckets(p *Problem) {
+	p.BucketOff = make([]int32, len(p.Items)+1)
+	p.maxBuckets = 0
+	for i := range p.Items {
+		nb := len(p.Items[i].Buckets)
+		p.BucketOff[i+1] = p.BucketOff[i] + int32(nb)
+		if nb > p.maxBuckets {
+			p.maxBuckets = nb
+		}
+	}
+}
+
+// compact re-lays the freshly built per-item structures into shared
+// arenas — one flat []Bucket, one flat []int32 of dense source indices,
+// one []float32 similarity arena and one []FormatPair arena — repointing
+// the per-item slices at capacity-capped views. Every arena is allocated
+// with its exact final size, so the append loops never reallocate and the
+// views stay valid. The result is field-for-field identical to the jagged
+// layout (asserted by the arena property test); only the backing memory
+// changes.
+func compact(p *Problem) {
+	indexBuckets(p)
+	nSrc := 0
+	for i := range p.Items {
+		nSrc += p.Items[i].Providers
+	}
+	buckets := make([]Bucket, 0, p.NumBuckets())
+	srcs := make([]int32, 0, nSrc)
+	for i := range p.Items {
+		it := &p.Items[i]
+		base := len(buckets)
+		for _, bk := range it.Buckets {
+			lo := len(srcs)
+			srcs = append(srcs, bk.Sources...)
+			buckets = append(buckets, Bucket{Rep: bk.Rep, Sources: srcs[lo:len(srcs):len(srcs)]})
+		}
+		it.Buckets = buckets[base:len(buckets):len(buckets)]
+	}
+	if p.Sim != nil {
+		total := 0
+		for i := range p.Sim {
+			total += len(p.Sim[i])
+		}
+		arena := make([]float32, 0, total)
+		for i := range p.Sim {
+			lo := len(arena)
+			arena = append(arena, p.Sim[i]...)
+			p.Sim[i] = arena[lo:len(arena):len(arena)]
+		}
+	}
+	if p.Format != nil {
+		total := 0
+		for i := range p.Format {
+			total += len(p.Format[i])
+		}
+		if total > 0 {
+			arena := make([]FormatPair, 0, total)
+			for i := range p.Format {
+				if len(p.Format[i]) == 0 {
+					continue // keep nil for pair-free items, as formatFor does
+				}
+				lo := len(arena)
+				arena = append(arena, p.Format[i]...)
+				p.Format[i] = arena[lo:len(arena):len(arena)]
+			}
+		}
+	}
 }
 
 // itemScratch holds the reusable per-item buffers of problem construction.
@@ -198,7 +300,7 @@ func assignCats(p *Problem, ds *model.Dataset) {
 // configured workers with disjoint writes (parallel == serial exactly).
 func buildAux(p *Problem, opts BuildOptions) {
 	if opts.NeedSimilarity {
-		p.Sim = make([][][]float32, len(p.Items))
+		p.Sim = make([][]float32, len(p.Items))
 		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				p.Sim[i] = simFor(&p.Items[i])
@@ -215,17 +317,17 @@ func buildAux(p *Problem, opts BuildOptions) {
 	}
 }
 
-// simFor computes one item's bucket-similarity matrix.
-func simFor(it *ProblemItem) [][]float32 {
+// simFor computes one item's bucket-similarity matrix, flattened
+// row-major (the layout SimAt indexes).
+func simFor(it *ProblemItem) []float32 {
 	n := len(it.Buckets)
-	sim := make([][]float32, n)
+	sim := make([]float32, n*n)
 	for a := 0; a < n; a++ {
-		sim[a] = make([]float32, n)
 		for b := 0; b < n; b++ {
 			if a == b {
 				continue
 			}
-			sim[a][b] = float32(value.Similarity(it.Buckets[a].Rep, it.Buckets[b].Rep, it.Tol))
+			sim[a*n+b] = float32(value.Similarity(it.Buckets[a].Rep, it.Buckets[b].Rep, it.Tol))
 		}
 	}
 	return sim

@@ -238,7 +238,7 @@ func UpdateProblem(ds *model.Dataset, snap *model.Snapshot, prev *Problem, dirty
 		NumAttrs:  len(ds.Attrs),
 	}
 	if opts.NeedSimilarity {
-		p.Sim = make([][][]float32, 0, len(prev.Items))
+		p.Sim = make([][]float32, 0, len(prev.Items))
 	}
 	if opts.NeedFormat {
 		p.Format = make([][]FormatPair, 0, len(prev.Items))
@@ -308,6 +308,11 @@ func UpdateProblem(ds *model.Dataset, snap *model.Snapshot, prev *Problem, dirty
 
 	countClaims(p)
 	assignCats(p, ds)
+	// No arena compaction here: clean items keep sharing the previous
+	// problem's arenas (or their own earlier small allocations) bit-for-
+	// bit, which is the whole point of incremental maintenance. Only the
+	// flat-vector index is refreshed for the new item list.
+	indexBuckets(p)
 	return p, rebuilt
 }
 
@@ -372,15 +377,12 @@ func accuWarm(p *Problem, opts Options, cfg accuConfig, prev *Result, prevIdx, d
 
 	res := &Result{Method: cfg.name}
 	logN := math.Log(opts.NFalse)
+	sc := newAccuScratch(p, numKeys, opts.Parallelism)
+	postPhase := accuPostPhase(p, opts, cfg, trust, keyOf, logN, sc, probs, chosen, dirtyIdx, nil)
 	for round := 1; ; round++ {
 		res.Rounds = round
-		parallel.For(len(dirtyIdx), opts.Parallelism, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				i := dirtyIdx[k]
-				chosen[i] = accuPosterior(p, i, opts, cfg, trust, keyOf(i), logN, nil, probs[i])
-			}
-		})
-		delta := accuReestimate(p, trust, probs, keyOf, numKeys)
+		parallel.ForWorker(len(dirtyIdx), sc.temps.workers, postPhase)
+		delta := accuReestimate(p, trust, probs, keyOf, numKeys, sc)
 		if drift := trustDrift(trust, baseGlobal, baseKeyed); drift > tol {
 			return nil, false
 		}

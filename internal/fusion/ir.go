@@ -11,6 +11,11 @@ import (
 // 3-ESTIMATES. A source providing value v on an item implicitly votes
 // against the item's other values, so every method here processes both
 // positive votes (the claimed bucket) and complement votes (the rest).
+//
+// Scores live in the flat vote space (one float64 per bucket, spanned by
+// Problem.BucketOff), which the 2-/3-Estimates "complex normalisation"
+// rescales in place — the per-round flat/jagged copy round-trips of the
+// old layout are gone. All per-round buffers are allocated once in Run.
 
 // Cosine computes source trust as the cosine similarity between the
 // source's +-1 claim vector and the current truth scores, weights votes by
@@ -45,57 +50,72 @@ func (Cosine) Run(p *Problem, opts Options) *Result {
 	start := time.Now()
 	n := len(p.SourceIDs)
 	trust := initTrust(n, opts.startTrust(), 0.5)
+	next := make([]float64, n)
+	num := make([]float64, n)
+	den := make([]float64, n) // score-norm contribution per source
+	cnt := make([]float64, n) // claim-vector norm^2 per source
 	scores := newVoteSpace(p)
+	temps := newWorkerRows(p, opts.Parallelism)
+
+	// Truth scores in [-1, 1]: cubic positive mass minus cubic negative
+	// mass over the item's total cubic mass. Disjoint row writes and a
+	// fully rewritten per-worker cubic-mass temp, so the loop fans out
+	// bit-identically at any parallelism.
+	scorePhase := func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := &p.Items[i]
+			row := scores.row(i)
+			cub := temps.rows[worker][:len(it.Buckets)]
+			clear(cub)
+			var total float64
+			for b, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					w := trust[s] * trust[s] * trust[s]
+					cub[b] += w
+					total += math.Abs(w)
+				}
+			}
+			var cubSum float64 // summed once per item, not once per bucket
+			for _, c := range cub {
+				cubSum += c
+			}
+			for b := range it.Buckets {
+				if total > 0 {
+					row[b] = (cub[b] - (cubSum - cub[b])) / total
+				} else {
+					row[b] = 0
+				}
+			}
+		}
+	}
 
 	res := &Result{Method: "Cosine"}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		// Truth scores in [-1, 1]: cubic positive mass minus cubic negative
-		// mass over the item's total cubic mass. Disjoint scores[i] writes,
-		// so the loop fans out bit-identically at any parallelism.
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				it := &p.Items[i]
-				var total float64
-				cub := make([]float64, len(it.Buckets))
-				for b, bk := range it.Buckets {
-					for _, s := range bk.Sources {
-						w := trust[s] * trust[s] * trust[s]
-						cub[b] += w
-						total += math.Abs(w)
-					}
-				}
-				for b := range it.Buckets {
-					if total > 0 {
-						scores[i][b] = (cub[b] - (sum(cub) - cub[b])) / total
-					} else {
-						scores[i][b] = 0
-					}
-				}
-			}
-		})
+		parallel.ForWorker(len(p.Items), temps.workers, scorePhase)
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
 		}
 		// Cosine similarity between each source's claim vector (+1 claimed,
 		// -1 other observed values) and the score vector.
-		num := make([]float64, n)
-		den := make([]float64, n) // score-norm contribution per source
-		cnt := make([]float64, n) // claim-vector norm^2 per source
+		clear(num)
+		clear(den)
+		clear(cnt)
 		for i := range p.Items {
 			it := &p.Items[i]
+			row := scores.row(i)
 			var sqsum float64
 			for b := range it.Buckets {
-				sqsum += scores[i][b] * scores[i][b]
+				sqsum += row[b] * row[b]
 			}
 			var all float64
 			for b := range it.Buckets {
-				all += scores[i][b]
+				all += row[b]
 			}
 			for b, bk := range it.Buckets {
 				// +score for the claimed value, -score for every other.
-				contrib := scores[i][b] - (all - scores[i][b])
+				contrib := row[b] - (all - row[b])
 				for _, s := range bk.Sources {
 					num[s] += contrib
 					den[s] += sqsum
@@ -103,7 +123,6 @@ func (Cosine) Run(p *Problem, opts Options) *Result {
 				}
 			}
 		}
-		next := make([]float64, n)
 		for s := 0; s < n; s++ {
 			d := math.Sqrt(den[s]) * math.Sqrt(cnt[s])
 			var c float64
@@ -113,7 +132,7 @@ func (Cosine) Run(p *Problem, opts Options) *Result {
 			next[s] = cosineDamping*trust[s] + (1-cosineDamping)*clampTrust(c, -1, 1)
 		}
 		delta := maxDelta(trust, next)
-		trust = next
+		trust, next = next, trust
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
 			res.Converged = delta < opts.Epsilon
 			break
@@ -123,14 +142,6 @@ func (Cosine) Run(p *Problem, opts Options) *Result {
 	res.Chosen = choose(p, scores)
 	res.Elapsed = time.Since(start)
 	return res
-}
-
-func sum(xs []float64) float64 {
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s
 }
 
 // TwoEstimates averages positive and complement votes and applies the full
@@ -149,60 +160,57 @@ func (TwoEstimates) Run(p *Problem, opts Options) *Result {
 	start := time.Now()
 	n := len(p.SourceIDs)
 	trust := initTrust(n, opts.startTrust(), 0.8)
+	next := make([]float64, n)
+	cnt := make([]float64, n)
 	scores := newVoteSpace(p)
-	off, total := bucketOffsets(p)
-	flat := make([]float64, total)
+
+	// Per-item vote phase: item i writes only its own span of the flat
+	// score space, so the loop fans out bit-identically.
+	votePhase := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := &p.Items[i]
+			row := scores.row(i)
+			// trustSum over all providers of the item.
+			var trustAll float64
+			for _, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					trustAll += trust[s]
+				}
+			}
+			for b, bk := range it.Buckets {
+				var pos float64
+				for _, s := range bk.Sources {
+					pos += trust[s]
+				}
+				neg := float64(it.Providers-len(bk.Sources)) - (trustAll - pos)
+				row[b] = (pos + neg) / float64(it.Providers)
+			}
+		}
+	}
 
 	res := &Result{Method: "2-Estimates"}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		// Per-item vote phase: item i writes only scores[i] and its own
-		// span of flat (the precomputed bucket offsets reproduce the
-		// serial append layout), so the loop fans out bit-identically.
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				it := &p.Items[i]
-				// trustSum over all providers of the item.
-				var trustAll float64
-				for _, bk := range it.Buckets {
-					for _, s := range bk.Sources {
-						trustAll += trust[s]
-					}
-				}
-				for b, bk := range it.Buckets {
-					var pos float64
-					for _, s := range bk.Sources {
-						pos += trust[s]
-					}
-					neg := float64(it.Providers-len(bk.Sources)) - (trustAll - pos)
-					scores[i][b] = (pos + neg) / float64(it.Providers)
-					flat[off[i]+b] = scores[i][b]
-				}
-			}
-		})
-		rescaleFlat(flat, opts.Parallelism)
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				copy(scores[i], flat[off[i]:off[i+1]])
-			}
-		})
+		parallel.For(len(p.Items), opts.Parallelism, votePhase)
+		rescaleFlat(scores.flat, opts.Parallelism)
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
 		}
-		next := make([]float64, n)
-		cnt := make([]float64, n)
+		clear(next)
+		clear(cnt)
 		for i := range p.Items {
 			it := &p.Items[i]
+			row := scores.row(i)
 			var all float64
 			for b := range it.Buckets {
-				all += scores[i][b]
+				all += row[b]
 			}
 			for b, bk := range it.Buckets {
-				others := all - scores[i][b]
+				others := all - row[b]
 				complement := float64(len(it.Buckets)-1) - others
 				for _, s := range bk.Sources {
-					next[s] += scores[i][b] + complement
+					next[s] += row[b] + complement
 					cnt[s] += float64(len(it.Buckets))
 				}
 			}
@@ -214,7 +222,7 @@ func (TwoEstimates) Run(p *Problem, opts Options) *Result {
 		}
 		rescale01(next)
 		delta := maxDelta(trust, next)
-		trust = next
+		trust, next = next, trust
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
 			res.Converged = delta < opts.Epsilon
 			break
@@ -243,96 +251,87 @@ func (ThreeEstimates) Run(p *Problem, opts Options) *Result {
 	start := time.Now()
 	n := len(p.SourceIDs)
 	trust := initTrust(n, opts.startTrust(), 0.8)
+	next := make([]float64, n)
+	cnt := make([]float64, n)
 	scores := newVoteSpace(p)
 	eps := newVoteSpace(p) // per-value error factor
-	for i := range eps {
-		for b := range eps[i] {
-			eps[i][b] = 0.4
+	for i := range eps.flat {
+		eps.flat[i] = 0.4
+	}
+
+	// sigma(v) = avg_s [ claimed: 1-(1-theta)eps ; other: (1-theta)eps ].
+	// Item i writes only its own flat span, so the loop fans out
+	// bit-identically.
+	sigmaPhase := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := &p.Items[i]
+			row, erow := scores.row(i), eps.row(i)
+			var trustAll float64
+			for _, bk := range it.Buckets {
+				for _, s := range bk.Sources {
+					trustAll += trust[s]
+				}
+			}
+			for b, bk := range it.Buckets {
+				var pos float64
+				for _, s := range bk.Sources {
+					pos += 1 - (1-trust[s])*erow[b]
+				}
+				negMass := (float64(it.Providers-len(bk.Sources)) - (trustAll - sumTrust(bk.Sources, trust))) * erow[b]
+				row[b] = (pos + negMass) / float64(it.Providers)
+			}
 		}
 	}
 
-	off, total := bucketOffsets(p)
-	flat := make([]float64, total)
-	flatEps := make([]float64, total)
+	// eps(v) = avg_s [ claimed: (1-sigma)/(1-theta) ; other: sigma/(1-theta) ].
+	epsPhase := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := &p.Items[i]
+			row, erow := scores.row(i), eps.row(i)
+			for b, bk := range it.Buckets {
+				var e, cnt float64
+				for _, s := range bk.Sources {
+					e += (1 - row[b]) / math.Max(1e-9, 1-trust[s])
+					cnt++
+				}
+				for b2, bk2 := range it.Buckets {
+					if b2 == b {
+						continue
+					}
+					for _, s := range bk2.Sources {
+						e += row[b] / math.Max(1e-9, 1-trust[s])
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					erow[b] = clampTrust(e/cnt, 0, 1)
+				}
+			}
+		}
+	}
 
 	res := &Result{Method: "3-Estimates"}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		// sigma(v) = avg_s [ claimed: 1-(1-theta)eps ; other: (1-theta)eps ].
-		// Item i writes only scores[i] and its own flat span (precomputed
-		// bucket offsets), so the loop fans out bit-identically.
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				it := &p.Items[i]
-				var trustAll float64
-				for _, bk := range it.Buckets {
-					for _, s := range bk.Sources {
-						trustAll += trust[s]
-					}
-				}
-				for b, bk := range it.Buckets {
-					var pos float64
-					for _, s := range bk.Sources {
-						pos += 1 - (1-trust[s])*eps[i][b]
-					}
-					negMass := (float64(it.Providers-len(bk.Sources)) - (trustAll - sumTrust(bk.Sources, trust))) * eps[i][b]
-					scores[i][b] = (pos + negMass) / float64(it.Providers)
-					flat[off[i]+b] = scores[i][b]
-				}
-			}
-		})
-		rescaleFlat(flat, opts.Parallelism)
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				copy(scores[i], flat[off[i]:off[i+1]])
-			}
-		})
+		parallel.For(len(p.Items), opts.Parallelism, sigmaPhase)
+		rescaleFlat(scores.flat, opts.Parallelism)
 
-		// eps(v) = avg_s [ claimed: (1-sigma)/(1-theta) ; other: sigma/(1-theta) ].
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				it := &p.Items[i]
-				for b, bk := range it.Buckets {
-					var e, cnt float64
-					for _, s := range bk.Sources {
-						e += (1 - scores[i][b]) / math.Max(1e-9, 1-trust[s])
-						cnt++
-					}
-					for b2, bk2 := range it.Buckets {
-						if b2 == b {
-							continue
-						}
-						for _, s := range bk2.Sources {
-							e += scores[i][b] / math.Max(1e-9, 1-trust[s])
-							cnt++
-						}
-					}
-					if cnt > 0 {
-						eps[i][b] = clampTrust(e/cnt, 0, 1)
-					}
-					flatEps[off[i]+b] = eps[i][b]
-				}
-			}
-		})
-		rescaleFlat(flatEps, opts.Parallelism)
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				copy(eps[i], flatEps[off[i]:off[i+1]])
-			}
-		})
+		parallel.For(len(p.Items), opts.Parallelism, epsPhase)
+		rescaleFlat(eps.flat, opts.Parallelism)
 
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
 		}
 		// theta(s) = avg_v [ claimed: 1-(1-sigma)/eps ; other: 1-sigma/eps ].
-		next := make([]float64, n)
-		cnt := make([]float64, n)
+		clear(next)
+		clear(cnt)
 		for i := range p.Items {
 			it := &p.Items[i]
+			row, erow := scores.row(i), eps.row(i)
 			for b, bk := range it.Buckets {
 				for _, s := range bk.Sources {
-					next[s] += clampTrust(1-(1-scores[i][b])/math.Max(1e-9, eps[i][b]), 0, 1)
+					next[s] += clampTrust(1-(1-row[b])/math.Max(1e-9, erow[b]), 0, 1)
 					cnt[s]++
 				}
 				for b2 := range it.Buckets {
@@ -340,7 +339,7 @@ func (ThreeEstimates) Run(p *Problem, opts Options) *Result {
 						continue
 					}
 					for _, s := range bk.Sources {
-						next[s] += clampTrust(1-scores[i][b2]/math.Max(1e-9, eps[i][b2]), 0, 1)
+						next[s] += clampTrust(1-row[b2]/math.Max(1e-9, erow[b2]), 0, 1)
 						cnt[s]++
 					}
 				}
@@ -353,7 +352,7 @@ func (ThreeEstimates) Run(p *Problem, opts Options) *Result {
 		}
 		rescale01(next)
 		delta := maxDelta(trust, next)
-		trust = next
+		trust, next = next, trust
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
 			res.Converged = delta < opts.Epsilon
 			break
@@ -363,18 +362,6 @@ func (ThreeEstimates) Run(p *Problem, opts Options) *Result {
 	res.Chosen = choose(p, scores)
 	res.Elapsed = time.Since(start)
 	return res
-}
-
-// bucketOffsets precomputes each item's span in the flattened score space
-// (off[i]..off[i+1]) plus the total bucket count, so the flat-rescale
-// phases of 2-ESTIMATES / 3-ESTIMATES can fan out with disjoint writes
-// that reproduce the serial append layout exactly.
-func bucketOffsets(p *Problem) (off []int, total int) {
-	off = make([]int, len(p.Items)+1)
-	for i := range p.Items {
-		off[i+1] = off[i] + len(p.Items[i].Buckets)
-	}
-	return off, off[len(p.Items)]
 }
 
 // rescaleFlat is rescale01 with the min/max scan and the scaling loop

@@ -11,6 +11,11 @@ import (
 // They descend from authority analysis on hyperlink graphs — a value's vote
 // is the trust mass of its providers, a source's trust the vote mass of its
 // values — and differ in how the mass is averaged, invested and returned.
+//
+// Each Run allocates its vote space, double-buffered trust vector and
+// per-source accumulators once, hoists the per-item vote closure out of
+// the round loop, and reuses everything every round — warm rounds on the
+// serial path allocate nothing.
 
 // Hub adapts Kleinberg's hubs-and-authorities to fusion: vote(v) = sum of
 // provider trust; trust(s) = sum of its values' votes; both max-normalised
@@ -29,27 +34,30 @@ func (Hub) Run(p *Problem, opts Options) *Result {
 	start := time.Now()
 	n := len(p.SourceIDs)
 	trust := initTrust(n, opts.startTrust(), 1)
+	next := make([]float64, n)
 	votes := newVoteSpace(p)
+	votePhase := trustMassVotes(p, &trust, votes)
 
 	res := &Result{Method: "Hub"}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		voteRound(p, opts.Parallelism, trust, votes)
+		parallel.For(len(p.Items), opts.Parallelism, votePhase)
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
 		}
-		next := make([]float64, n)
+		clear(next)
 		for i := range p.Items {
+			row := votes.row(i)
 			for b, bk := range p.Items[i].Buckets {
 				for _, s := range bk.Sources {
-					next[s] += votes[i][b]
+					next[s] += row[b]
 				}
 			}
 		}
 		normalizeMax(next)
 		delta := maxDelta(trust, next)
-		trust = next
+		trust, next = next, trust
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
 			res.Converged = delta < opts.Epsilon
 			break
@@ -77,33 +85,38 @@ func (AvgLog) Run(p *Problem, opts Options) *Result {
 	start := time.Now()
 	n := len(p.SourceIDs)
 	trust := initTrust(n, opts.startTrust(), 1)
+	next := make([]float64, n)
+	mass := make([]float64, n)
 	votes := newVoteSpace(p)
+	votePhase := trustMassVotes(p, &trust, votes)
 
 	res := &Result{Method: "AvgLog"}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		voteRound(p, opts.Parallelism, trust, votes)
+		parallel.For(len(p.Items), opts.Parallelism, votePhase)
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
 		}
-		sum := make([]float64, n)
+		clear(mass)
 		for i := range p.Items {
+			row := votes.row(i)
 			for b, bk := range p.Items[i].Buckets {
 				for _, s := range bk.Sources {
-					sum[s] += votes[i][b]
+					mass[s] += row[b]
 				}
 			}
 		}
-		next := make([]float64, n)
 		for s := 0; s < n; s++ {
 			if c := p.ClaimsPerSource[s]; c > 0 {
-				next[s] = math.Log(float64(c)+1) * sum[s] / float64(c)
+				next[s] = math.Log(float64(c)+1) * mass[s] / float64(c)
+			} else {
+				next[s] = 0
 			}
 		}
 		normalizeMax(next)
 		delta := maxDelta(trust, next)
-		trust = next
+		trust, next = next, trust
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
 			res.Converged = delta < opts.Epsilon
 			break
@@ -155,10 +168,40 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 	start := time.Now()
 	n := len(p.SourceIDs)
 	trust := initTrust(n, opts.startTrust(), 1)
+	next := make([]float64, n)
 	votes := newVoteSpace(p)
-	invested := make([][]float64, len(p.Items)) // per item per bucket
-	for i := range p.Items {
-		invested[i] = make([]float64, len(p.Items[i].Buckets))
+	invested := newVoteSpace(p) // per item per bucket
+
+	// Per-item investment phase: disjoint writes to invested and votes
+	// rows, bit-identical at any parallelism.
+	investPhase := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := &p.Items[i]
+			vrow, irow := votes.row(i), invested.row(i)
+			var pool float64
+			for b, bk := range it.Buckets {
+				var inv float64
+				for _, s := range bk.Sources {
+					if c := p.ClaimsPerSource[s]; c > 0 {
+						inv += trust[s] / float64(c)
+					}
+				}
+				irow[b] = inv
+				vrow[b] = math.Pow(inv, investExponent)
+				pool += inv
+			}
+			if pooled {
+				var sum float64
+				for b := range it.Buckets {
+					sum += vrow[b]
+				}
+				if sum > 0 {
+					for b := range it.Buckets {
+						vrow[b] *= pool / sum
+					}
+				}
+			}
+		}
 	}
 
 	name := "Invest"
@@ -168,50 +211,22 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 	res := &Result{Method: name}
 	for round := 1; ; round++ {
 		res.Rounds = round
-		// Per-item investment phase: disjoint writes to invested[i] and
-		// votes[i], bit-identical at any parallelism.
-		parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				it := &p.Items[i]
-				var pool float64
-				for b, bk := range it.Buckets {
-					var inv float64
-					for _, s := range bk.Sources {
-						if c := p.ClaimsPerSource[s]; c > 0 {
-							inv += trust[s] / float64(c)
-						}
-					}
-					invested[i][b] = inv
-					votes[i][b] = math.Pow(inv, investExponent)
-					pool += inv
-				}
-				if pooled {
-					var sum float64
-					for b := range it.Buckets {
-						sum += votes[i][b]
-					}
-					if sum > 0 {
-						for b := range it.Buckets {
-							votes[i][b] *= pool / sum
-						}
-					}
-				}
-			}
-		})
+		parallel.For(len(p.Items), opts.Parallelism, investPhase)
 		if opts.InputTrust != nil {
 			res.Converged = true
 			break
 		}
-		next := make([]float64, n)
+		clear(next)
 		for i := range p.Items {
+			vrow, irow := votes.row(i), invested.row(i)
 			for b, bk := range p.Items[i].Buckets {
-				if invested[i][b] <= 0 {
+				if irow[b] <= 0 {
 					continue
 				}
 				for _, s := range bk.Sources {
 					if c := p.ClaimsPerSource[s]; c > 0 {
-						share := (trust[s] / float64(c)) / invested[i][b]
-						next[s] += votes[i][b] * share
+						share := (trust[s] / float64(c)) / irow[b]
+						next[s] += vrow[b] * share
 					}
 				}
 			}
@@ -220,7 +235,7 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 			normalizeMax(next)
 		}
 		delta := maxDelta(trust, next)
-		trust = next
+		trust, next = next, trust
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
 			res.Converged = delta < opts.Epsilon
 			break
@@ -232,21 +247,25 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 	return res
 }
 
-// voteRound computes one round of trust-mass votes (HUB and AVGLOG share
-// it): vote(i, b) = sum of provider trust. Item rows are written
-// disjointly, so the loop fans out bit-identically at any parallelism.
-func voteRound(p *Problem, parallelism int, trust []float64, votes [][]float64) {
-	parallel.For(len(p.Items), parallelism, func(lo, hi int) {
+// trustMassVotes builds the shared HUB/AVGLOG vote phase — vote(i, b) =
+// sum of provider trust — as a closure hoisted out of the round loop. It
+// reads the caller's trust pointer so the round loop's double-buffer swap
+// stays visible. Item rows are written disjointly, so the phase fans out
+// bit-identically at any parallelism.
+func trustMassVotes(p *Problem, trust *[]float64, votes voteSpace) func(lo, hi int) {
+	return func(lo, hi int) {
+		t := *trust
 		for i := lo; i < hi; i++ {
+			row := votes.row(i)
 			for b, bk := range p.Items[i].Buckets {
 				var v float64
 				for _, s := range bk.Sources {
-					v += trust[s]
+					v += t[s]
 				}
-				votes[i][b] = v
+				row[b] = v
 			}
 		}
-	})
+	}
 }
 
 // initTrust returns the starting trust vector: the supplied input trust
@@ -263,20 +282,11 @@ func initTrust(n int, input []float64, def float64) []float64 {
 	return t
 }
 
-// newVoteSpace allocates the per-item per-bucket vote storage.
-func newVoteSpace(p *Problem) [][]float64 {
-	v := make([][]float64, len(p.Items))
-	for i := range p.Items {
-		v[i] = make([]float64, len(p.Items[i].Buckets))
-	}
-	return v
-}
-
-// choose picks the winning bucket of every item.
-func choose(p *Problem, votes [][]float64) []int32 {
+// choose picks the winning bucket of every item from the flat vote space.
+func choose(p *Problem, votes voteSpace) []int32 {
 	chosen := make([]int32, len(p.Items))
 	for i := range p.Items {
-		chosen[i] = argmax32(votes[i])
+		chosen[i] = argmax32(votes.row(i))
 	}
 	return chosen
 }

@@ -29,7 +29,21 @@ type Delta struct {
 	Added     []Claim
 	Retracted []Claim
 	Changed   []ValueChange
+
+	// sorted records that every op list is already in claim-key order —
+	// the Diff invariant. Apply and DirtyItems skip their order-
+	// verification scans when it is set (the scans cost three passes over
+	// the delta, a large share of Apply at high churn); hand-assembled
+	// deltas leave it unset and pay the checks.
+	sorted bool
 }
+
+// MarkSorted declares that the op lists are already in claim-key order,
+// letting Apply and DirtyItems skip their order-verification scans. Only
+// mark deltas whose order is guaranteed by construction (Diff output, or
+// a faithfully transported copy of one): Apply does not verify what it
+// skips, and an out-of-order delta marked sorted will corrupt the merge.
+func (d *Delta) MarkSorted() { d.sorted = true }
 
 // ValueChange is one claim whose (source, item) key survives between
 // snapshots with a different payload.
@@ -51,9 +65,10 @@ func (d *Delta) Empty() bool { return d.Size() == 0 }
 // when a day churns most of its claims.
 func (d *Delta) DirtyItems() []ItemID {
 	add, ret, chg := d.Added, d.Retracted, d.Changed
-	if !sort.SliceIsSorted(add, func(a, b int) bool { return claimKeyLess(&add[a], &add[b]) }) ||
-		!sort.SliceIsSorted(ret, func(a, b int) bool { return claimKeyLess(&ret[a], &ret[b]) }) ||
-		!sort.SliceIsSorted(chg, func(a, b int) bool { return claimKeyLess(&chg[a].Old, &chg[b].Old) }) {
+	if !d.sorted &&
+		(!sort.SliceIsSorted(add, func(a, b int) bool { return claimKeyLess(&add[a], &add[b]) }) ||
+			!sort.SliceIsSorted(ret, func(a, b int) bool { return claimKeyLess(&ret[a], &ret[b]) }) ||
+			!sort.SliceIsSorted(chg, func(a, b int) bool { return claimKeyLess(&chg[a].Old, &chg[b].Old) })) {
 		return d.dirtyItemsSlow()
 	}
 	const done = ItemID(1<<31 - 1)
@@ -137,6 +152,7 @@ func (s *Snapshot) Diff(target *Snapshot) (*Delta, error) {
 		FromLabel: s.Label,
 		ToLabel:   target.Label,
 		NumItems:  s.numItems,
+		sorted:    true, // op lists stream out of the merge in claim-key order
 	}
 	i, j := 0, 0
 	for i < len(s.Claims) && j < len(target.Claims) {
@@ -191,10 +207,18 @@ func (s *Snapshot) Apply(d *Delta) (*Snapshot, error) {
 		return nil, fmt.Errorf("model: delta for %d items applied to snapshot with %d",
 			d.NumItems, s.numItems)
 	}
+	// The output claim count is known exactly (changes replace in place),
+	// so the slice never regrows during the merge.
 	claims := make([]Claim, 0, len(s.Claims)+len(d.Added)-len(d.Retracted))
-	add := sortedOps(d.Added, func(c *Claim) *Claim { return c })
-	ret := sortedOps(d.Retracted, func(c *Claim) *Claim { return c })
-	chg := sortedOps(d.Changed, func(v *ValueChange) *Claim { return &v.Old })
+	add, ret, chg := d.Added, d.Retracted, d.Changed
+	if !d.sorted {
+		// Hand-assembled delta: verify (and if needed restore) the claim-
+		// key order the merge below depends on. Diff-produced deltas carry
+		// the sorted flag and skip these three scans.
+		add = sortedOps(add, func(c *Claim) *Claim { return c })
+		ret = sortedOps(ret, func(c *Claim) *Claim { return c })
+		chg = sortedOps(chg, func(v *ValueChange) *Claim { return &v.Old })
+	}
 	// Duplicate keys inside Added would slip past the per-claim collision
 	// check below (it only compares against surviving base claims) and
 	// break the snapshot's unique-key invariant.

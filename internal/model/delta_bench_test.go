@@ -1,0 +1,113 @@
+package model
+
+import (
+	"testing"
+
+	"truthdiscovery/internal/value"
+)
+
+// The Apply benchmark pair isolates the cost of the order-verification
+// scans the sorted fast path skips: FromDiff replays a Diff-produced
+// delta (sorted flag set), Unflagged replays a byte-identical delta with
+// the flag cleared, paying the three sort.SliceIsSorted passes the old
+// code ran on every Apply.
+
+// benchApplyWorld builds a ~120k-claim base snapshot and a ~3%-churn
+// target, returning the base and the Diff delta between them.
+func benchApplyWorld(b testing.TB) (*Snapshot, *Delta) {
+	b.Helper()
+	const numItems, numSources = 20000, 12
+	mk := func(day int) *Snapshot {
+		var claims []Claim
+		for it := 0; it < numItems; it++ {
+			for s := 0; s < numSources; s++ {
+				if (it+s)%2 != 0 { // ~50% coverage
+					continue
+				}
+				v := float64(100 + it%37)
+				if day > 0 && (it*numSources+s)%33 == 0 { // ~3% churn
+					v += float64(day)
+				}
+				claims = append(claims, Claim{
+					Source: SourceID(s), Item: ItemID(it),
+					Val: value.Num(v), CopiedFrom: NoSource,
+				})
+			}
+		}
+		return NewSnapshot(day, "bench", numItems, claims)
+	}
+	base, target := mk(0), mk(1)
+	delta, err := base.Diff(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if delta.Empty() {
+		b.Fatal("bench world produced an empty delta")
+	}
+	return base, delta
+}
+
+func benchApply(b *testing.B, sorted bool) {
+	base, delta := benchApplyWorld(b)
+	if !sorted {
+		unflagged := *delta
+		unflagged.sorted = false
+		delta = &unflagged
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := base.Apply(delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snap.NumItems() != base.NumItems() {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
+func BenchmarkSnapshotApplyFromDiff(b *testing.B)  { benchApply(b, true) }
+func BenchmarkSnapshotApplyUnflagged(b *testing.B) { benchApply(b, false) }
+
+// TestMarkSortedMatchesVerifiedApply pins the MarkSorted contract: for a
+// delta whose op lists are in claim-key order, the marked fast path must
+// produce the same snapshot as the unmarked, order-verifying path.
+func TestMarkSortedMatchesVerifiedApply(t *testing.T) {
+	base, delta := benchApplyWorld(t)
+
+	verified := *delta // sorted-by-construction but unflagged
+	verified.sorted = false
+	want, err := base.Apply(&verified)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	marked := verified // same lists, re-marked as a transported Diff would be
+	marked.MarkSorted()
+	got, err := base.Apply(&marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Claims) != len(want.Claims) {
+		t.Fatalf("claim counts differ: %d vs %d", len(got.Claims), len(want.Claims))
+	}
+	for i := range got.Claims {
+		if got.Claims[i] != want.Claims[i] {
+			t.Fatalf("claim %d differs: %+v vs %+v", i, got.Claims[i], want.Claims[i])
+		}
+	}
+}
+
+// BenchmarkDeltaDirtyItems measures the work-list extraction on the same
+// delta (also a sorted-fast-path consumer).
+func BenchmarkDeltaDirtyItems(b *testing.B) {
+	_, delta := benchApplyWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(delta.DirtyItems()) == 0 {
+			b.Fatal("no dirty items")
+		}
+	}
+}

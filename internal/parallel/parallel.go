@@ -60,12 +60,41 @@ const maxN = 1<<31 - 1
 // body must be safe to call concurrently on disjoint ranges; For returns
 // once every index has been processed. With one worker (or n <= 1) body
 // runs inline on the calling goroutine as a single body(0, n) call — the
-// exact serial code path, with no goroutines spawned.
+// exact serial code path, with no goroutines spawned and no allocation,
+// so callers that hoist their body closure out of a loop get
+// allocation-free steady-state iterations.
 //
 // A panic in body is re-raised on the calling goroutine after all workers
 // have drained.
 func For(n, parallelism int, body func(lo, hi int)) {
-	forGrain(n, parallelism, 0, body)
+	workers, done := clampWorkers(n, parallelism)
+	if done {
+		return
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	runSpans(n, workers, 0, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForWorker is For with the executing worker's index passed to body
+// (0 <= worker < min(Workers(parallelism), n)). The index identifies the
+// goroutine, not the chunk: steals move index ranges between workers, so
+// body must use it only for private scratch that is fully rewritten per
+// index — never to shard a reduction — to keep results independent of the
+// schedule. With one worker body runs inline as body(0, 0, n), again with
+// no allocation.
+func ForWorker(n, parallelism int, body func(worker, lo, hi int)) {
+	workers, done := clampWorkers(n, parallelism)
+	if done {
+		return
+	}
+	if workers <= 1 {
+		body(0, 0, n)
+		return
+	}
+	runSpans(n, workers, 0, body)
 }
 
 // Run executes every task, at most `parallelism` at a time (Workers
@@ -73,31 +102,43 @@ func For(n, parallelism int, body func(lo, hi int)) {
 // queued short ones behind them — the right shape for coarse units like
 // whole experiments. With one worker the tasks run inline in order.
 func Run(parallelism int, tasks []func()) {
-	forGrain(len(tasks), parallelism, 1, func(lo, hi int) {
+	n := len(tasks)
+	workers, done := clampWorkers(n, parallelism)
+	if done {
+		return
+	}
+	body := func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			tasks[i]()
 		}
-	})
+	}
+	if workers <= 1 {
+		body(0, 0, n)
+		return
+	}
+	runSpans(n, workers, 1, body)
 }
 
-// forGrain is the shared scheduler. maxGrain caps how many indices one
-// claim may take (0 = no cap beyond the adaptive quarter rule).
-func forGrain(n, parallelism, maxGrain int, body func(lo, hi int)) {
+// clampWorkers resolves the worker count for an n-index range; done
+// reports an empty range (nothing to do).
+func clampWorkers(n, parallelism int) (workers int, done bool) {
 	if n <= 0 {
-		return
+		return 0, true
 	}
 	if n > maxN {
 		panic(fmt.Sprintf("parallel: range %d exceeds max %d", n, maxN))
 	}
-	workers := Workers(parallelism)
+	workers = Workers(parallelism)
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		body(0, n)
-		return
-	}
+	return workers, false
+}
 
+// runSpans is the shared scheduler; workers must already be clamped to
+// [2, n]. maxGrain caps how many indices one claim may take (0 = no cap
+// beyond the adaptive quarter rule).
+func runSpans(n, workers, maxGrain int, body func(worker, lo, hi int)) {
 	spans := make([]span, workers)
 	for w := 0; w < workers; w++ {
 		spans[w].state.Store(pack(w*n/workers, (w+1)*n/workers))
@@ -129,10 +170,10 @@ func forGrain(n, parallelism, maxGrain int, body func(lo, hi int)) {
 type workerPanic struct{ val any }
 
 // work drains the worker's own span, then steals until no span holds work.
-func work(spans []span, self int, maxGrain int, body func(lo, hi int)) {
+func work(spans []span, self int, maxGrain int, body func(worker, lo, hi int)) {
 	for {
 		if lo, hi, ok := take(&spans[self], maxGrain); ok {
-			body(lo, hi)
+			body(self, lo, hi)
 			continue
 		}
 		if !steal(spans, self) {

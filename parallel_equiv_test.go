@@ -102,10 +102,8 @@ func TestParallelMatchesSerialAllMethods(t *testing.T) {
 		// Problem construction itself must be equivalent.
 		for i := range serialP.Items {
 			for a := range serialP.Sim[i] {
-				for b := range serialP.Sim[i][a] {
-					if serialP.Sim[i][a][b] != parP.Sim[i][a][b] {
-						t.Fatalf("%s: Sim[%d][%d][%d] differs", w.name, i, a, b)
-					}
+				if serialP.Sim[i][a] != parP.Sim[i][a] {
+					t.Fatalf("%s: Sim[%d][%d] differs", w.name, i, a)
 				}
 			}
 			if len(serialP.Format[i]) != len(parP.Format[i]) {
