@@ -20,17 +20,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# The serial/parallel, full/incremental and sorted/unsorted-Apply
-# benchmark pairs, at 1 and 4 cores — the multi-core trajectory CI
-# records per push (bench.txt). -benchmem records allocs/op, which the
-# gate compares raw since allocation counts are hardware-independent
-# (whole-Run benches allocate their per-run scratch, so the counts are
-# small but nonzero; the per-round zero-alloc property itself is
-# asserted by internal/fusion/alloc_test.go). pipefail keeps a
-# failed/panicking bench run from hiding behind tee.
+# The serial/parallel, full/incremental, flat/sharded and
+# sorted/unsorted-Apply benchmark pairs, at 1 and 4 cores — the
+# multi-core trajectory CI records per push (bench.txt). -benchmem
+# records allocs/op, which the gate compares raw since allocation counts
+# are hardware-independent (whole-Run benches allocate their per-run
+# scratch, so the counts are small but nonzero; the per-round zero-alloc
+# property itself is asserted by internal/fusion/alloc_test.go).
+# pipefail keeps a failed/panicking bench run from hiding behind tee.
 benchpairs: SHELL := /bin/bash
 benchpairs:
-	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental|SnapshotApply)' -cpu=1,4 -benchtime=3x -benchmem . ./internal/model | tee bench.txt
+	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental|SnapshotApply|Sharded)' -cpu=1,4 -benchtime=3x -benchmem . ./internal/model | tee bench.txt
 
 # Regression gate: hardware-normalised ns/op against the committed
 # baseline (see cmd/benchdiff). BENCH is the candidate JSON.

@@ -12,6 +12,7 @@ import (
 
 	"truthdiscovery/internal/experiments"
 	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/model"
 	"truthdiscovery/internal/report"
 )
 
@@ -499,3 +500,91 @@ func BenchmarkIncrementalAccuFormatAttrDelta(b *testing.B) {
 // BenchmarkIncrementalExperiment times the registry exhibit that threads
 // day-over-day deltas through the Stock/Flight regeneration.
 func BenchmarkIncrementalExperiment(b *testing.B) { benchExperiment(b, "incremental") }
+
+// Sharded-vs-flat benchmarks for the sharded fusion engine. The
+// ShardedFusion pair runs the heaviest non-copy method on the Stock
+// problem flat (one shard) and over eight shards; the Budget variant
+// additionally caps residency at one shard arena, reporting the peak
+// resident arena bytes — the memory ceiling that drops with the shard
+// count while the answers stay bit-identical (sharded_equiv_test.go).
+
+// benchShardedFusion runs AccuFormatAttr end to end over the given
+// shard count and residency bound.
+func benchShardedFusion(b *testing.B, shards, maxResident int) {
+	env := benchEnviron(b)
+	d := env.Stock()
+	m, _ := fusion.ByName("AccuFormatAttr")
+	spec := model.RangeShards(shards, d.Snap.NumItems())
+	var peak int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, sp, err := fusion.FuseSharded(d.DS, d.Snap, d.Fused, spec, m, fusion.Options{}, maxResident)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Chosen) != sp.NumItems() {
+			b.Fatal("bad result")
+		}
+		peak = sp.PeakResidentBytes()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(peak), "peak-arena-B")
+}
+
+func BenchmarkShardedFusionFlat(b *testing.B)   { benchShardedFusion(b, 1, 0) }
+func BenchmarkShardedFusionEight(b *testing.B)  { benchShardedFusion(b, 8, 0) }
+func BenchmarkShardedFusionBudget(b *testing.B) { benchShardedFusion(b, 8, 1) }
+
+// The ShardedIncremental pair composes sharding with the delta stream
+// on the low-churn world, both sides sharded so the pair isolates the
+// delta-routing win: Full re-fuses every day's snapshot from scratch
+// over the shard set; Delta advances a ShardedState over each day's
+// split deltas (per-shard dirty worklists, one trust merge per day).
+// The flat-engine counterpart is the BenchmarkIncrementalAccuPr* pair.
+func BenchmarkShardedIncrementalFull(b *testing.B) {
+	ds, snaps, _ := churnWorld(b)
+	m, _ := fusion.ByName("AccuPr")
+	spec := model.RangeShards(8, snaps[0].NumItems())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, snap := range snaps {
+			res, sp, err := fusion.FuseSharded(ds, snap, nil, spec, m, fusion.Options{}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Chosen) != sp.NumItems() {
+				b.Fatal("bad result")
+			}
+		}
+	}
+}
+
+func BenchmarkShardedIncrementalDelta(b *testing.B) {
+	ds, snaps, deltas := churnWorld(b)
+	m, _ := fusion.ByName("AccuPr")
+	spec := model.RangeShards(8, snaps[0].NumItems())
+	var dirty, total int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := fusion.NewShardedState(ds, snaps[0], nil, spec, m, fusion.Options{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, dl := range deltas {
+			next, stats, err := st.Advance(ds, dl, fusion.Options{}, fusion.IncrementalOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dirty += stats.DirtyItems
+			total += stats.TotalItems
+			st = next
+		}
+	}
+	b.StopTimer()
+	if total > 0 {
+		b.ReportMetric(100*float64(dirty)/float64(total), "dirty%/day")
+	}
+}

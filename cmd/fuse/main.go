@@ -18,9 +18,11 @@ import (
 
 func main() {
 	var (
-		method   = flag.String("method", "Vote", "fusion method name")
-		in       = flag.String("in", "-", "claims CSV path ('-' = stdin)")
-		parallel = flag.Int("parallel", 0, "fusion worker count (0 = GOMAXPROCS, 1 = serial)")
+		method      = flag.String("method", "Vote", "fusion method name")
+		in          = flag.String("in", "-", "claims CSV path ('-' = stdin)")
+		parallel    = flag.Int("parallel", 0, "fusion worker count (0 = GOMAXPROCS, 1 = serial)")
+		shards      = flag.Int("shards", 0, "item shards (0/1 = flat engine); answers are bit-identical at any count")
+		maxResident = flag.Int("max-resident-shards", 0, "with -shards: shard arenas kept in memory at once (0 = all)")
 	)
 	flag.Parse()
 
@@ -48,7 +50,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	answers, err := td.Fuse(ds, snap, *method, td.FuseOptions{Parallelism: *parallel})
+	opts := td.FuseOptions{Parallelism: *parallel}
+	var answers []td.Answer
+	if *shards > 1 {
+		opts.Shards = *shards
+		opts.MaxResidentShards = *maxResident
+		answers, err = td.FuseSharded(ds, snap, *method, opts)
+	} else {
+		answers, err = td.Fuse(ds, snap, *method, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

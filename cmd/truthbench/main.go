@@ -12,6 +12,8 @@
 //	truthbench -seed 7              # different simulated world
 //	truthbench -parallel 1          # serial experiment execution
 //	truthbench -incremental         # streaming mode: day-over-day deltas vs full re-fusion
+//	truthbench -shards 8            # sharded engine exhibits (bit-identical, bounded memory)
+//	truthbench -shards 8 -max-resident-shards 1 -run sharded
 //
 // Independent experiments regenerate concurrently (bounded by -parallel;
 // 0 means GOMAXPROCS); reports are still printed in the paper's order.
@@ -35,6 +37,8 @@ func main() {
 		list        = flag.Bool("list", false, "list experiment IDs and exit")
 		parallel    = flag.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
 		incremental = flag.Bool("incremental", false, "consume the period as claim deltas: run the incremental-vs-full fusion exhibit")
+		shards      = flag.Int("shards", 0, "item shards for the sharded exhibits (0 = their default of 4); with no -run, adds the sharded exhibits")
+		maxResident = flag.Int("max-resident-shards", 0, "shard arenas kept resident in the budgeted sharded column (0 = 1)")
 	)
 	flag.Parse()
 
@@ -53,6 +57,8 @@ func main() {
 	// detection calls inside each experiment, so -parallel 1 is serial
 	// all the way down.
 	cfg.Parallelism = *parallel
+	cfg.Shards = *shards
+	cfg.MaxResidentShards = *maxResident
 	env := experiments.NewEnv(cfg)
 
 	var todo []experiments.Experiment
@@ -64,6 +70,13 @@ func main() {
 			*run = "incremental"
 		case !strings.Contains(","+*run+",", ",incremental,"):
 			*run += ",incremental"
+		}
+	}
+	if *shards > 0 || *maxResident > 0 {
+		// Sharding flags select the sharded exhibits when nothing else is
+		// requested, and otherwise just parameterise whatever runs.
+		if *run == "" {
+			*run = "sharded,sharded-incremental"
 		}
 	}
 	if *run == "" {

@@ -104,6 +104,49 @@ func TestFuseIncrementalBitIdentical(t *testing.T) {
 	}
 }
 
+// TestFuseIncrementalAllMethods extends the bit-identity contract to the
+// full sixteen-method roster on the calibrated Stock stream: whatever
+// path Advance picks for a method (item-local, warm or full re-run on
+// the maintained problem), the incremental answers must equal full Fuse
+// of each day's snapshot exactly.
+func TestFuseIncrementalAllMethods(t *testing.T) {
+	const days = 3
+	w := streamWorlds(t, days)[0] // Stock
+	for _, m := range fusion.Methods() {
+		method := m.Name()
+		opts := FuseOptions{Sources: w.fused}
+		got, state, err := FuseStateful(w.ds, w.snaps[0], method, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Fuse(w.ds, w.snaps[0], method, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s day 0: stateful answers differ from Fuse", method)
+		}
+		for d := 1; d < days; d++ {
+			delta, err := w.snaps[d-1].Diff(w.snaps[d])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, state, err = FuseIncremental(w.ds, state, delta, method, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err = Fuse(w.ds, w.snaps[d], method, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s day %d: incremental answers differ from full re-fusion (mode %s)",
+					method, d, state.Stats.Mode)
+			}
+		}
+	}
+}
+
 // TestFuseIncrementalTrustBitIdentical pins the trust vectors too, not
 // just the answers, on the Stock stream.
 func TestFuseIncrementalTrustBitIdentical(t *testing.T) {

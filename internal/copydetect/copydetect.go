@@ -70,6 +70,16 @@ type Options struct {
 	// partials that are merged in chunk order regardless of which worker
 	// produced them, and each pair's posterior is computed independently.
 	Parallelism int
+	// CountChunkSize is the number of observations per accumulation
+	// chunk (default 512) — the steal grain of the counting phase. It
+	// must never be derived from the worker count: the chunk boundaries
+	// fix the floating-point association of the weighted per-pair sums,
+	// so the same value must be used across runs that are expected to
+	// compare bit-identically. Exposed for steal-grain tuning on hosts
+	// where copy detection scales below linear; different values may
+	// differ from each other by last-ulp amounts (each is internally
+	// consistent at every parallelism level).
+	CountChunkSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +95,9 @@ func (o Options) withDefaults() Options {
 	if o.MinOverlap <= 0 {
 		o.MinOverlap = 30
 	}
+	if o.CountChunkSize <= 0 {
+		o.CountChunkSize = defaultCountChunkSize
+	}
 	return o
 }
 
@@ -98,16 +111,17 @@ type pairCounts struct {
 	sumLnPop  float64
 }
 
-// countChunkSize is the fixed number of observations per accumulation
-// chunk. It is a constant — never derived from the worker count — so the
-// chunk boundaries, and therefore the floating-point association of the
+// defaultCountChunkSize is the default number of observations per
+// accumulation chunk (Options.CountChunkSize). The chunk size is fixed
+// per run — never derived from the worker count — so the chunk
+// boundaries, and therefore the floating-point association of the
 // weighted per-pair sums, are identical at every parallelism level
 // (including 1: the serial path accumulates the same chunks in the same
 // order, just inline). The chunked association may differ from a naive
 // single-pass sum by last-ulp amounts on inputs longer than one chunk;
 // what is guaranteed, and tested, is that the result never varies with
 // the worker count.
-const countChunkSize = 512
+const defaultCountChunkSize = 512
 
 // Detect returns the symmetric pairwise dependence probabilities
 // dep[s1][s2] = P(s1 and s2 are not independent | observations), given
@@ -155,7 +169,8 @@ func Detect(numSources int, obs []Observation, accuracy []float64, opts Options)
 // chunk, the sums carry the exact same floating-point association at
 // every parallelism level.
 func accumulate(numSources int, obs []Observation, opts Options) []pairCounts {
-	numChunks := (len(obs) + countChunkSize - 1) / countChunkSize
+	chunk := opts.CountChunkSize
+	numChunks := (len(obs) + chunk - 1) / chunk
 	if numChunks <= 1 {
 		counts := make([]pairCounts, numSources*numSources)
 		countInto(counts, numSources, obs, opts)
@@ -164,8 +179,8 @@ func accumulate(numSources int, obs []Observation, opts Options) []pairCounts {
 	partials := make([][]pairCounts, numChunks)
 	parallel.For(numChunks, opts.Parallelism, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
-			first := c * countChunkSize
-			last := min(first+countChunkSize, len(obs))
+			first := c * chunk
+			last := min(first+chunk, len(obs))
 			part := make([]pairCounts, numSources*numSources)
 			countInto(part, numSources, obs[first:last], opts)
 			partials[c] = part

@@ -241,7 +241,7 @@ func synthObservations(nItems, nSources int) []Observation {
 // including ranges long enough to need chunked accumulation and merge.
 func TestDetectParallelismEquivalence(t *testing.T) {
 	const nSources = 14
-	obs := synthObservations(3*countChunkSize+37, nSources)
+	obs := synthObservations(3*defaultCountChunkSize+37, nSources)
 	acc := make([]float64, nSources)
 	for s := range acc {
 		acc[s] = 0.5 + float64(s)/40
@@ -263,13 +263,42 @@ func TestDetectParallelismEquivalence(t *testing.T) {
 	}
 }
 
+// TestDetectCustomChunkSize covers the CountChunkSize option: any
+// configured grain keeps the worker-count invariance (each chunk size is
+// internally consistent at every parallelism level), and the default
+// stays 512.
+func TestDetectCustomChunkSize(t *testing.T) {
+	if got := (Options{}).withDefaults().CountChunkSize; got != 512 {
+		t.Fatalf("default chunk size = %d, want 512", got)
+	}
+	const nSources = 10
+	obs := synthObservations(700, nSources)
+	acc := make([]float64, nSources)
+	for s := range acc {
+		acc[s] = 0.6 + float64(s)/50
+	}
+	for _, chunk := range []int{64, 256, 4096} {
+		opts := Options{MinOverlap: 5, CountChunkSize: chunk, Parallelism: 1}
+		serial := Detect(nSources, obs, acc, opts)
+		opts.Parallelism = 4
+		par := Detect(nSources, obs, acc, opts)
+		for s1 := range serial {
+			for s2 := range serial[s1] {
+				if serial[s1][s2] != par[s1][s2] {
+					t.Fatalf("chunk %d: dep[%d][%d] varies with workers", chunk, s1, s2)
+				}
+			}
+		}
+	}
+}
+
 // TestAccumulateSingleChunkMatchesMultiChunk pins the fixed-chunk design:
 // the chunk boundaries depend only on the observation count, so a short
 // input takes the single-allocation fast path and a long one merges
 // partials — and a prefix of the long input must score the same pairs as
 // the same observations presented alone.
 func TestAccumulateSingleChunkMatchesMultiChunk(t *testing.T) {
-	obs := synthObservations(countChunkSize+1, 6)
+	obs := synthObservations(defaultCountChunkSize+1, 6)
 	opts := Options{MinOverlap: 1}.withDefaults()
 	whole := accumulate(6, obs, opts)
 	direct := make([]pairCounts, 6*6)

@@ -30,6 +30,11 @@ type Config struct {
 	// along on each Domain so runners stamp it into their fusion options
 	// via Domain.FusionOpts.
 	Parallelism int
+	// Shards is the item-shard count of the sharded exhibits (0 picks
+	// their default of 4); MaxResidentShards bounds the shard arenas the
+	// budgeted column keeps resident (0 picks 1).
+	Shards            int
+	MaxResidentShards int
 }
 
 // DefaultConfig is the paper-scale configuration.

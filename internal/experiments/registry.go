@@ -53,6 +53,9 @@ func All() []Experiment {
 		// Consumes the period as day-over-day claim deltas and re-derives
 		// (then restores) tolerances over the whole period, hence Exclusive.
 		{ID: "incremental", Title: "Incremental vs full fusion over the period", Exclusive: true, Run: IncrementalFusion},
+		{ID: "sharded", Title: "Sharded vs flat fusion (bit-identical, bounded memory)", Run: ShardedFusion},
+		// Same tolerance re-derivation as the incremental exhibit.
+		{ID: "sharded-incremental", Title: "Sharded incremental fusion over the period", Exclusive: true, Run: ShardedIncremental},
 		{ID: "ensemble", Title: "Combining fusion models (Section 5)", Run: EnsembleExperiment},
 		{ID: "seed-trust", Title: "Seeding trust from consistent items (Section 5)", Run: SeedTrustExperiment},
 		{ID: "category-trust", Title: "Per-category source trust (Section 5)", Run: CategoryTrustExperiment},

@@ -52,26 +52,7 @@ func (TruthFinder) Run(p *Problem, opts Options) *Result {
 	// parallelism.
 	confPhase := func(worker, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			it := &p.Items[i]
-			nb := len(it.Buckets)
-			row := conf.row(i)
-			sim := p.Sim[i]
-			raw := temps.rows[worker][:nb]
-			clear(raw)
-			for b, bk := range it.Buckets {
-				for _, s := range bk.Sources {
-					raw[b] += -math.Log(1 - math.Min(tau[s], tfMaxTau))
-				}
-			}
-			for b := 0; b < nb; b++ {
-				adj := raw[b]
-				for b2 := 0; b2 < nb; b2++ {
-					if b2 != b {
-						adj += tfRho * float64(sim[b*nb+b2]) * raw[b2]
-					}
-				}
-				row[b] = 1 / (1 + math.Exp(-tfGamma*adj))
-			}
+			tfConfItem(&p.Items[i], p.Sim[i], tau, conf.row(i), temps.rows[worker])
 		}
 	}
 
@@ -85,19 +66,9 @@ func (TruthFinder) Run(p *Problem, opts Options) *Result {
 		clear(next)
 		clear(cnt)
 		for i := range p.Items {
-			row := conf.row(i)
-			for b, bk := range p.Items[i].Buckets {
-				for _, s := range bk.Sources {
-					next[s] += row[b]
-					cnt[s]++
-				}
-			}
+			tfFold(&p.Items[i], conf.row(i), next, cnt)
 		}
-		for s := range next {
-			if cnt[s] > 0 {
-				next[s] = clampTrust(next[s]/cnt[s], 0.01, tfMaxTau)
-			}
-		}
+		tfTail(next, cnt)
 		delta := maxDelta(tau, next)
 		tau, next = next, tau
 		if delta < opts.Epsilon || round >= opts.MaxRounds {
@@ -473,51 +444,70 @@ func accuPosterior(p *Problem, i int, opts Options, cfg accuConfig, trust *accuT
 func accuReestimate(p *Problem, trust *accuTrust, probs [][]float64,
 	keyOf func(int) int32, numKeys int, sc *accuScratch) float64 {
 
-	var delta float64
 	if trust.keyed {
-		n := len(trust.byKey)
-		next, cnt := sc.next, sc.cnt
-		clear(next)
-		clear(cnt)
+		clear(sc.next)
+		clear(sc.cnt)
 		for i := range p.Items {
-			it := &p.Items[i]
-			key := int(keyOf(i))
-			row := probs[i]
-			for b, bk := range it.Buckets {
-				for _, s := range bk.Sources {
-					next[int(s)*numKeys+key] += row[b]
-					cnt[int(s)*numKeys+key]++
-				}
-			}
+			accuFoldKeyed(&p.Items[i], int(keyOf(i)), numKeys, probs[i], sc.next, sc.cnt)
 		}
-		for s := 0; s < n; s++ {
-			for a := 0; a < numKeys; a++ {
-				var v float64
-				if cnt[s*numKeys+a] > 0 {
-					v = clampTrust(next[s*numKeys+a]/cnt[s*numKeys+a], 0.01, 0.99)
-				} else {
-					v = trust.byKey[s][a]
-				}
-				if d := math.Abs(v - trust.byKey[s][a]); d > delta {
-					delta = d
-				}
-				trust.byKey[s][a] = v
-			}
-		}
-		return delta
+		return accuKeyedTail(trust, numKeys, sc.next, sc.cnt)
 	}
-	next, cnt := sc.next, sc.cnt
-	clear(next)
-	clear(cnt)
+	clear(sc.next)
+	clear(sc.cnt)
 	for i := range p.Items {
-		row := probs[i]
-		for b, bk := range p.Items[i].Buckets {
-			for _, s := range bk.Sources {
-				next[s] += row[b]
-				cnt[s]++
-			}
+		accuFoldGlobal(&p.Items[i], probs[i], sc.next, sc.cnt)
+	}
+	return accuGlobalTail(trust, sc)
+}
+
+// accuFoldKeyed folds one item's posteriors into the keyed trust
+// accumulators (flattened source-major).
+func accuFoldKeyed(it *ProblemItem, key, numKeys int, row, next, cnt []float64) {
+	for b, bk := range it.Buckets {
+		for _, s := range bk.Sources {
+			next[int(s)*numKeys+key] += row[b]
+			cnt[int(s)*numKeys+key]++
 		}
 	}
+}
+
+// accuFoldGlobal folds one item's posteriors into the global trust
+// accumulators.
+func accuFoldGlobal(it *ProblemItem, row, next, cnt []float64) {
+	for b, bk := range it.Buckets {
+		for _, s := range bk.Sources {
+			next[s] += row[b]
+			cnt[s]++
+		}
+	}
+}
+
+// accuKeyedTail turns the keyed accumulators into the next keyed trust
+// in place and returns the largest per-entry move.
+func accuKeyedTail(trust *accuTrust, numKeys int, next, cnt []float64) float64 {
+	var delta float64
+	n := len(trust.byKey)
+	for s := 0; s < n; s++ {
+		for a := 0; a < numKeys; a++ {
+			var v float64
+			if cnt[s*numKeys+a] > 0 {
+				v = clampTrust(next[s*numKeys+a]/cnt[s*numKeys+a], 0.01, 0.99)
+			} else {
+				v = trust.byKey[s][a]
+			}
+			if d := math.Abs(v - trust.byKey[s][a]); d > delta {
+				delta = d
+			}
+			trust.byKey[s][a] = v
+		}
+	}
+	return delta
+}
+
+// accuGlobalTail finalises the global accumulators into the next trust
+// vector (double-buffered against the scratch) and returns the move.
+func accuGlobalTail(trust *accuTrust, sc *accuScratch) float64 {
+	next, cnt := sc.next, sc.cnt
 	for s := range next {
 		if cnt[s] > 0 {
 			next[s] = clampTrust(next[s]/cnt[s], 0.01, 0.99)
@@ -525,7 +515,7 @@ func accuReestimate(p *Problem, trust *accuTrust, probs [][]float64,
 			next[s] = trust.global[s]
 		}
 	}
-	delta = maxDelta(trust.global, next)
+	delta := maxDelta(trust.global, next)
 	trust.global, sc.next = next, trust.global
 	return delta
 }
@@ -544,13 +534,7 @@ func accuFinish(p *Problem, cfg accuConfig, trust *accuTrust, probs [][]float64,
 		res.Trust = make([]float64, n)
 		claims := make([]float64, n)
 		for i := range p.Items {
-			key := keyOf(i)
-			for _, bk := range p.Items[i].Buckets {
-				for _, s := range bk.Sources {
-					res.Trust[s] += trust.byKey[s][key]
-					claims[s]++
-				}
-			}
+			accuMeanFold(&p.Items[i], keyOf(i), trust.byKey, res.Trust, claims)
 		}
 		for s := range res.Trust {
 			if claims[s] > 0 {
@@ -562,6 +546,60 @@ func accuFinish(p *Problem, cfg accuConfig, trust *accuTrust, probs [][]float64,
 	}
 	res.Chosen = chosen
 	res.Posteriors = probs
+}
+
+// accuMeanFold folds one item into the per-source keyed-trust mean (the
+// scalar-trust report of the keyed ACCU variants).
+func accuMeanFold(it *ProblemItem, key int32, byKey [][]float64, acc, claims []float64) {
+	for _, bk := range it.Buckets {
+		for _, s := range bk.Sources {
+			acc[s] += byKey[s][key]
+			claims[s]++
+		}
+	}
+}
+
+// tfConfItem computes one item's TRUTHFINDER confidences; tmp is a
+// per-worker temporary of at least len(it.Buckets) entries, fully
+// rewritten here. Shared verbatim by the flat loop and the sharded
+// engine, like every kernel in this file.
+func tfConfItem(it *ProblemItem, sim []float32, tau []float64, row, tmp []float64) {
+	nb := len(it.Buckets)
+	raw := tmp[:nb]
+	clear(raw)
+	for b, bk := range it.Buckets {
+		for _, s := range bk.Sources {
+			raw[b] += -math.Log(1 - math.Min(tau[s], tfMaxTau))
+		}
+	}
+	for b := 0; b < nb; b++ {
+		adj := raw[b]
+		for b2 := 0; b2 < nb; b2++ {
+			if b2 != b {
+				adj += tfRho * float64(sim[b*nb+b2]) * raw[b2]
+			}
+		}
+		row[b] = 1 / (1 + math.Exp(-tfGamma*adj))
+	}
+}
+
+// tfFold folds one item's confidences into the trust accumulators.
+func tfFold(it *ProblemItem, row []float64, next, cnt []float64) {
+	for b, bk := range it.Buckets {
+		for _, s := range bk.Sources {
+			next[s] += row[b]
+			cnt[s]++
+		}
+	}
+}
+
+// tfTail averages and clamps the accumulated confidences in place.
+func tfTail(next, cnt []float64) {
+	for s := range next {
+		if cnt[s] > 0 {
+			next[s] = clampTrust(next[s]/cnt[s], 0.01, tfMaxTau)
+		}
+	}
 }
 
 // softmaxInPlace converts log-scores to probabilities.

@@ -84,20 +84,27 @@ func detectOnProblem(p *Problem, chosen []int32, probs [][]float64, acc []float6
 	// writes), so the loop fans out bit-identically at any parallelism.
 	parallel.For(len(p.Items), opts.Parallelism, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			buildObservation(p, i, chosen, probs, opts, &obs[i])
+			var prow []float64
+			if probs != nil {
+				prow = probs[i]
+			}
+			buildObservation(&p.Items[i], chosen[i], prow, opts, &obs[i])
 		}
 	})
 	return copydetect.Detect(len(p.SourceIDs), obs, acc, copydetect.Options{
-		NFalse:       opts.NFalse,
-		UniformFalse: opts.CopyDetectPaper2009,
-		Parallelism:  opts.Parallelism,
+		NFalse:         opts.NFalse,
+		UniformFalse:   opts.CopyDetectPaper2009,
+		Parallelism:    opts.Parallelism,
+		CountChunkSize: opts.CopyDetectChunkSize,
 	})
 }
 
-// buildObservation converts item i's buckets plus the current truth
-// assignment into one copy-detection observation.
-func buildObservation(p *Problem, i int, chosen []int32, probs [][]float64, opts Options, out *copydetect.Observation) {
-	it := &p.Items[i]
+// buildObservation converts one item's buckets plus the current truth
+// assignment into one copy-detection observation. chosenB is the item's
+// winning bucket; prow (optional) its current per-bucket truth
+// probabilities. A pure per-item function, shared by the flat detector
+// path and the sharded engine's global observation gather.
+func buildObservation(it *ProblemItem, chosenB int32, prow []float64, opts Options, out *copydetect.Observation) {
 	o := copydetect.Observation{
 		Sources:   make([]int32, 0, it.Providers),
 		Buckets:   make([]int32, 0, it.Providers),
@@ -105,13 +112,13 @@ func buildObservation(p *Problem, i int, chosen []int32, probs [][]float64, opts
 		Pop:       make([]float64, 0, it.Providers),
 		Contested: make([]bool, 0, it.Providers),
 	}
-	if probs != nil {
+	if prow != nil {
 		o.FalseW = make([]float64, 0, it.Providers)
 	}
-	truthRep := it.Buckets[chosen[i]].Rep
-	chosenSupport := len(it.Buckets[chosen[i]].Sources)
+	truthRep := it.Buckets[chosenB].Rep
+	chosenSupport := len(it.Buckets[chosenB].Sources)
 	for b, bk := range it.Buckets {
-		truthy := int32(b) == chosen[i]
+		truthy := int32(b) == chosenB
 		if !truthy && opts.CopyDetectSimilarityAware {
 			// Section 5 fix: values within a few tolerance bands of the
 			// chosen truth count as true for detection purposes.
@@ -132,8 +139,8 @@ func buildObservation(p *Problem, i int, chosen []int32, probs [][]float64, opts
 			o.Truthy = append(o.Truthy, truthy)
 			o.Pop = append(o.Pop, pop)
 			o.Contested = append(o.Contested, contested)
-			if probs != nil {
-				o.FalseW = append(o.FalseW, 1-probs[i][b])
+			if prow != nil {
+				o.FalseW = append(o.FalseW, 1-prow[b])
 			}
 		}
 	}
@@ -149,30 +156,36 @@ func independenceWeights(p *Problem, acc []float64, dep [][]float64, parallelism
 	w := make(claimWeights, len(p.Items))
 	parallel.For(len(p.Items), parallelism, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			it := &p.Items[i]
-			w[i] = make([][]float64, len(it.Buckets))
-			for b, bk := range it.Buckets {
-				order := make([]int, len(bk.Sources))
-				for k := range order {
-					order[k] = k
-				}
-				sort.SliceStable(order, func(x, y int) bool {
-					return acc[bk.Sources[order[x]]] > acc[bk.Sources[order[y]]]
-				})
-				weights := make([]float64, len(bk.Sources))
-				for rank, k := range order {
-					wt := 1.0
-					for rank2 := 0; rank2 < rank; rank2++ {
-						j := order[rank2]
-						wt *= 1 - copyVoteRate*dep[bk.Sources[k]][bk.Sources[j]]
-					}
-					weights[k] = wt
-				}
-				w[i][b] = weights
-			}
+			w[i] = independenceWeightsItem(&p.Items[i], acc, dep)
 		}
 	})
 	return w
+}
+
+// independenceWeightsItem computes one item's per-claim independence
+// weights (a pure per-item function, shared with the sharded engine).
+func independenceWeightsItem(it *ProblemItem, acc []float64, dep [][]float64) [][]float64 {
+	wi := make([][]float64, len(it.Buckets))
+	for b, bk := range it.Buckets {
+		order := make([]int, len(bk.Sources))
+		for k := range order {
+			order[k] = k
+		}
+		sort.SliceStable(order, func(x, y int) bool {
+			return acc[bk.Sources[order[x]]] > acc[bk.Sources[order[y]]]
+		})
+		weights := make([]float64, len(bk.Sources))
+		for rank, k := range order {
+			wt := 1.0
+			for rank2 := 0; rank2 < rank; rank2++ {
+				j := order[rank2]
+				wt *= 1 - copyVoteRate*dep[bk.Sources[k]][bk.Sources[j]]
+			}
+			weights[k] = wt
+		}
+		wi[b] = weights
+	}
+	return wi
 }
 
 // runWithKnownGroups ignores every known copier (keeping each group's first

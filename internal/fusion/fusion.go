@@ -110,14 +110,21 @@ type BuildOptions struct {
 	Parallelism int
 }
 
+// DefaultRoster returns the full source roster — the resolution of a
+// nil `sources` argument everywhere the engine accepts one.
+func DefaultRoster(ds *model.Dataset) []model.SourceID {
+	sources := make([]model.SourceID, len(ds.Sources))
+	for i := range sources {
+		sources[i] = model.SourceID(i)
+	}
+	return sources
+}
+
 // Build constructs the fusion problem from a snapshot, keeping only claims
 // by the given sources (nil = all sources).
 func Build(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID, opts BuildOptions) *Problem {
 	if sources == nil {
-		sources = make([]model.SourceID, len(ds.Sources))
-		for i := range sources {
-			sources[i] = model.SourceID(i)
-		}
+		sources = DefaultRoster(ds)
 	}
 	denseOf := make([]int32, len(ds.Sources))
 	for i := range denseOf {
@@ -384,6 +391,10 @@ type Options struct {
 	// handling. This reproduces the false-positive failure the paper
 	// reports on numeric (Stock) data.
 	CopyDetectPaper2009 bool
+	// CopyDetectChunkSize tunes the detector's observation-accumulation
+	// grain (copydetect.Options.CountChunkSize; 0 keeps the default).
+	// Runs compare bit-identically only when they use the same grain.
+	CopyDetectChunkSize int
 	// InitialTrust seeds the trust-estimation iteration without disabling
 	// it — the Section 5 suggestion of starting from "seed trustworthiness
 	// better than the currently employed default values" (see SeedTrust).
@@ -556,11 +567,18 @@ func EvaluateTrust(e *Eval, res *Result, sampled []float64) {
 // the mean accuracy of the sampled sources rather than zero, which would
 // poison trust-seeded runs and copy detection.
 func SampleAccuracy(ds *model.Dataset, snap *model.Snapshot, p *Problem, gold *model.TruthTable) []float64 {
+	return SampleAccuracySources(ds, snap, p.SourceIDs, gold)
+}
+
+// SampleAccuracySources is SampleAccuracy for callers that know the
+// fused roster without holding a Problem (the sharded public API must
+// not build a flat arena just to sample trust).
+func SampleAccuracySources(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID, gold *model.TruthTable) []float64 {
 	acc, cov := gold.SourceAccuracy(ds, snap)
-	out := make([]float64, len(p.SourceIDs))
+	out := make([]float64, len(sources))
 	var sum float64
 	n := 0
-	for _, s := range p.SourceIDs {
+	for _, s := range sources {
 		if cov[s] > 0 {
 			sum += acc[s]
 			n++
@@ -570,7 +588,7 @@ func SampleAccuracy(ds *model.Dataset, snap *model.Snapshot, p *Problem, gold *m
 	if n > 0 {
 		mean = sum / float64(n)
 	}
-	for i, s := range p.SourceIDs {
+	for i, s := range sources {
 		if cov[s] > 0 {
 			out[i] = acc[s]
 		} else {
@@ -583,10 +601,16 @@ func SampleAccuracy(ds *model.Dataset, snap *model.Snapshot, p *Problem, gold *m
 // SampleAttrAccuracy computes per-(source, attribute) accuracy on gold
 // items, with the source's overall accuracy as fallback for unseen pairs.
 func SampleAttrAccuracy(ds *model.Dataset, snap *model.Snapshot, p *Problem, gold *model.TruthTable) [][]float64 {
+	return SampleAttrAccuracySources(ds, snap, p.SourceIDs, gold)
+}
+
+// SampleAttrAccuracySources is SampleAttrAccuracy keyed by an explicit
+// roster.
+func SampleAttrAccuracySources(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID, gold *model.TruthTable) [][]float64 {
 	acc, _ := gold.SourceAccuracy(ds, snap)
 	per := gold.PerAttrAccuracy(ds, snap, acc)
-	out := make([][]float64, len(p.SourceIDs))
-	for i, s := range p.SourceIDs {
+	out := make([][]float64, len(sources))
+	for i, s := range sources {
 		out[i] = per[s]
 	}
 	return out

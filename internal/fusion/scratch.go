@@ -58,8 +58,15 @@ type workerRows struct {
 }
 
 func newWorkerRows(p *Problem, parallelism int) workerRows {
+	return newWorkerRowsSize(p.maxBuckets, parallelism)
+}
+
+// newWorkerRowsSize is newWorkerRows for callers that know the row width
+// without holding a Problem (the sharded engine sizes per-shard temps
+// from recorded metadata while arenas may be evicted).
+func newWorkerRowsSize(maxBuckets, parallelism int) workerRows {
 	w := parallel.Workers(parallelism)
-	stride := (p.maxBuckets + 7) &^ 7
+	stride := (maxBuckets + 7) &^ 7
 	if stride == 0 {
 		stride = 8
 	}
@@ -69,7 +76,7 @@ func newWorkerRows(p *Problem, parallelism int) workerRows {
 		lo := i * stride
 		// Capacity-capped so a defensive reslice past maxBuckets
 		// allocates instead of silently aliasing the next worker's row.
-		rows[i] = flat[lo : lo+p.maxBuckets : lo+p.maxBuckets]
+		rows[i] = flat[lo : lo+maxBuckets : lo+maxBuckets]
 	}
 	return workerRows{workers: w, rows: rows}
 }

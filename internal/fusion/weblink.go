@@ -48,12 +48,7 @@ func (Hub) Run(p *Problem, opts Options) *Result {
 		}
 		clear(next)
 		for i := range p.Items {
-			row := votes.row(i)
-			for b, bk := range p.Items[i].Buckets {
-				for _, s := range bk.Sources {
-					next[s] += row[b]
-				}
-			}
+			voteMassFold(&p.Items[i], votes.row(i), next)
 		}
 		normalizeMax(next)
 		delta := maxDelta(trust, next)
@@ -100,20 +95,9 @@ func (AvgLog) Run(p *Problem, opts Options) *Result {
 		}
 		clear(mass)
 		for i := range p.Items {
-			row := votes.row(i)
-			for b, bk := range p.Items[i].Buckets {
-				for _, s := range bk.Sources {
-					mass[s] += row[b]
-				}
-			}
+			voteMassFold(&p.Items[i], votes.row(i), mass)
 		}
-		for s := 0; s < n; s++ {
-			if c := p.ClaimsPerSource[s]; c > 0 {
-				next[s] = math.Log(float64(c)+1) * mass[s] / float64(c)
-			} else {
-				next[s] = 0
-			}
-		}
+		avgLogTail(p.ClaimsPerSource, mass, next)
 		normalizeMax(next)
 		delta := maxDelta(trust, next)
 		trust, next = next, trust
@@ -176,31 +160,7 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 	// rows, bit-identical at any parallelism.
 	investPhase := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			it := &p.Items[i]
-			vrow, irow := votes.row(i), invested.row(i)
-			var pool float64
-			for b, bk := range it.Buckets {
-				var inv float64
-				for _, s := range bk.Sources {
-					if c := p.ClaimsPerSource[s]; c > 0 {
-						inv += trust[s] / float64(c)
-					}
-				}
-				irow[b] = inv
-				vrow[b] = math.Pow(inv, investExponent)
-				pool += inv
-			}
-			if pooled {
-				var sum float64
-				for b := range it.Buckets {
-					sum += vrow[b]
-				}
-				if sum > 0 {
-					for b := range it.Buckets {
-						vrow[b] *= pool / sum
-					}
-				}
-			}
+			investItem(&p.Items[i], trust, p.ClaimsPerSource, votes.row(i), invested.row(i), pooled)
 		}
 	}
 
@@ -218,18 +178,7 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 		}
 		clear(next)
 		for i := range p.Items {
-			vrow, irow := votes.row(i), invested.row(i)
-			for b, bk := range p.Items[i].Buckets {
-				if irow[b] <= 0 {
-					continue
-				}
-				for _, s := range bk.Sources {
-					if c := p.ClaimsPerSource[s]; c > 0 {
-						share := (trust[s] / float64(c)) / irow[b]
-						next[s] += vrow[b] * share
-					}
-				}
-			}
+			investFold(&p.Items[i], trust, p.ClaimsPerSource, votes.row(i), invested.row(i), next)
 		}
 		if !pooled {
 			normalizeMax(next)
@@ -256,13 +205,90 @@ func trustMassVotes(p *Problem, trust *[]float64, votes voteSpace) func(lo, hi i
 	return func(lo, hi int) {
 		t := *trust
 		for i := lo; i < hi; i++ {
-			row := votes.row(i)
-			for b, bk := range p.Items[i].Buckets {
-				var v float64
-				for _, s := range bk.Sources {
-					v += t[s]
-				}
-				row[b] = v
+			voteMassItem(&p.Items[i], t, votes.row(i))
+		}
+	}
+}
+
+// The per-item kernels of the Web-link family. Each is shared verbatim
+// by the flat round loops above and the sharded engine (sharded.go), so
+// the two paths perform the exact same floating-point operations in the
+// same per-item order — the root of the flat/sharded bit-identity
+// contract.
+
+// voteMassItem writes one item's votes: vote(b) = sum of provider trust.
+func voteMassItem(it *ProblemItem, trust []float64, row []float64) {
+	for b, bk := range it.Buckets {
+		var v float64
+		for _, s := range bk.Sources {
+			v += trust[s]
+		}
+		row[b] = v
+	}
+}
+
+// voteMassFold folds one item's votes back onto its providers (the
+// HUB/AVGLOG trust accumulation).
+func voteMassFold(it *ProblemItem, row []float64, acc []float64) {
+	for b, bk := range it.Buckets {
+		for _, s := range bk.Sources {
+			acc[s] += row[b]
+		}
+	}
+}
+
+// avgLogTail turns accumulated vote mass into AVGLOG trust: log of the
+// claim count times the average vote.
+func avgLogTail(cps []int, mass, next []float64) {
+	for s := range next {
+		if c := cps[s]; c > 0 {
+			next[s] = math.Log(float64(c)+1) * mass[s] / float64(c)
+		} else {
+			next[s] = 0
+		}
+	}
+}
+
+// investItem runs one item's investment phase: every provider invests
+// trust/claims into its bucket, votes grow as invested^1.2, and POOLED-
+// INVEST rescales the votes to the item's total investment.
+func investItem(it *ProblemItem, trust []float64, cps []int, vrow, irow []float64, pooled bool) {
+	var pool float64
+	for b, bk := range it.Buckets {
+		var inv float64
+		for _, s := range bk.Sources {
+			if c := cps[s]; c > 0 {
+				inv += trust[s] / float64(c)
+			}
+		}
+		irow[b] = inv
+		vrow[b] = math.Pow(inv, investExponent)
+		pool += inv
+	}
+	if pooled {
+		var sum float64
+		for b := range it.Buckets {
+			sum += vrow[b]
+		}
+		if sum > 0 {
+			for b := range it.Buckets {
+				vrow[b] *= pool / sum
+			}
+		}
+	}
+}
+
+// investFold pays one item's votes back to the investors in proportion
+// to their contribution.
+func investFold(it *ProblemItem, trust []float64, cps []int, vrow, irow, next []float64) {
+	for b, bk := range it.Buckets {
+		if irow[b] <= 0 {
+			continue
+		}
+		for _, s := range bk.Sources {
+			if c := cps[s]; c > 0 {
+				share := (trust[s] / float64(c)) / irow[b]
+				next[s] += vrow[b] * share
 			}
 		}
 	}

@@ -1,0 +1,194 @@
+package model
+
+import "fmt"
+
+// Item sharding: the partitioning layer under the sharded fusion engine.
+// A ShardSpec assigns every item to exactly one of Shards shards via a
+// pure function of the item ID, so the assignment is stable across runs,
+// processes and machines. Snapshots and deltas both partition cleanly by
+// item — a claim belongs to its item's shard, and a delta operation keys
+// on the item whose claim set it edits — which is what lets per-item
+// fusion phases run shard-by-shard while trust estimation merges across
+// shards in one deterministic pass.
+
+// ShardKind selects how items map to shards.
+type ShardKind uint8
+
+const (
+	// ShardByRange splits the item-ID space [0, NumItems) into Shards
+	// contiguous ranges (shard boundaries at i*NumItems/Shards). Global
+	// item order then equals "shard 0's items, then shard 1's, ...",
+	// the invariant the sharded fusion engine's sequential memory-budget
+	// mode relies on for its fixed-order trust merge.
+	ShardByRange ShardKind = iota
+	// ShardByHash scatters items with a fixed 64-bit mix of the item ID.
+	// The mix constants are frozen: the same item maps to the same shard
+	// in every run and on every architecture.
+	ShardByHash
+)
+
+// String names the kind.
+func (k ShardKind) String() string {
+	switch k {
+	case ShardByRange:
+		return "range"
+	case ShardByHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ShardSpec is a stable item partitioning: Shards shards over the item
+// table, assigned by Kind. The zero value is invalid; use RangeShards or
+// HashShards.
+type ShardSpec struct {
+	// Shards is the shard count (>= 1).
+	Shards int
+	// Kind selects the assignment function.
+	Kind ShardKind
+	// NumItems is the item-table size the spec partitions. Required for
+	// ShardByRange (it defines the range boundaries); for ShardByHash it
+	// is carried only so Snapshot.Shard and Delta.Split can verify the
+	// spec matches the data they partition.
+	NumItems int
+}
+
+// RangeShards returns a range-based spec over an item table of the given
+// size.
+func RangeShards(shards, numItems int) ShardSpec {
+	return ShardSpec{Shards: shards, Kind: ShardByRange, NumItems: numItems}
+}
+
+// HashShards returns a hash-based spec over an item table of the given
+// size.
+func HashShards(shards, numItems int) ShardSpec {
+	return ShardSpec{Shards: shards, Kind: ShardByHash, NumItems: numItems}
+}
+
+// Validate reports whether the spec is usable. An empty item table
+// (NumItems 0) is legal — every shard is simply empty — so sharding an
+// empty world behaves like fusing one.
+func (sp ShardSpec) Validate() error {
+	if sp.Shards < 1 {
+		return fmt.Errorf("model: shard spec needs at least 1 shard, got %d", sp.Shards)
+	}
+	if sp.NumItems < 0 {
+		return fmt.Errorf("model: shard spec needs a non-negative item-table size, got %d", sp.NumItems)
+	}
+	if sp.Kind != ShardByRange && sp.Kind != ShardByHash {
+		return fmt.Errorf("model: unknown shard kind %v", sp.Kind)
+	}
+	return nil
+}
+
+// mix64 is the splitmix64 finalizer. The constants are part of the
+// sharding contract — changing them would silently re-home every item —
+// so they are frozen here rather than delegated to a library hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOf returns the shard the item belongs to: a pure function of
+// (spec, item), stable across runs.
+func (sp ShardSpec) ShardOf(item ItemID) int {
+	if sp.Kind == ShardByRange {
+		return int(uint64(item) * uint64(sp.Shards) / uint64(sp.NumItems))
+	}
+	return int(mix64(uint64(item)) % uint64(sp.Shards))
+}
+
+// checkSpec validates the spec against a partitioned structure's item
+// table.
+func (sp ShardSpec) checkSpec(numItems int, what string) error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	if sp.NumItems != numItems {
+		return fmt.Errorf("model: shard spec for %d items cannot partition a %s with %d",
+			sp.NumItems, what, numItems)
+	}
+	return nil
+}
+
+// Shard partitions the snapshot into one per-shard snapshot: shard k
+// holds exactly the claims whose item maps to shard k, in the original
+// claim order. Every shard keeps the full item table (item IDs stay
+// global) and the snapshot's Day/Label identity, so a shard snapshot is
+// a first-class Snapshot — it indexes, diffs and applies like any other.
+func (s *Snapshot) Shard(sp ShardSpec) ([]*Snapshot, error) {
+	if err := sp.checkSpec(s.numItems, "snapshot"); err != nil {
+		return nil, err
+	}
+	// Counting pass sizes each shard's claim slice exactly; the item
+	// index makes the per-item shard lookup one call per item, not one
+	// per claim.
+	counts := make([]int, sp.Shards)
+	for item := 0; item < s.numItems; item++ {
+		if n := s.ProviderCount(ItemID(item)); n > 0 {
+			counts[sp.ShardOf(ItemID(item))] += n
+		}
+	}
+	out := make([]*Snapshot, sp.Shards)
+	for k := range out {
+		out[k] = &Snapshot{
+			Day:      s.Day,
+			Label:    s.Label,
+			Claims:   make([]Claim, 0, counts[k]),
+			numItems: s.numItems,
+		}
+	}
+	for item := 0; item < s.numItems; item++ {
+		claims := s.ItemClaims(ItemID(item))
+		if len(claims) == 0 {
+			continue
+		}
+		k := sp.ShardOf(ItemID(item))
+		out[k].Claims = append(out[k].Claims, claims...)
+	}
+	for k := range out {
+		out[k].buildIndex()
+	}
+	return out, nil
+}
+
+// Split partitions the delta by item shard: shard k's delta holds
+// exactly the operations on items mapping to shard k, in the original
+// op order, so applying split[k] to the base's shard k reproduces the
+// target's shard k (asserted by the shard property tests). Op-list
+// order is preserved, so a sorted delta (Diff output) splits into
+// sorted shard deltas and the Apply fast path survives the routing.
+func (d *Delta) Split(sp ShardSpec) ([]*Delta, error) {
+	if err := sp.checkSpec(d.NumItems, "delta"); err != nil {
+		return nil, err
+	}
+	out := make([]*Delta, sp.Shards)
+	for k := range out {
+		out[k] = &Delta{
+			FromDay:   d.FromDay,
+			ToDay:     d.ToDay,
+			FromLabel: d.FromLabel,
+			ToLabel:   d.ToLabel,
+			NumItems:  d.NumItems,
+			sorted:    d.sorted,
+		}
+	}
+	for i := range d.Added {
+		k := sp.ShardOf(d.Added[i].Item)
+		out[k].Added = append(out[k].Added, d.Added[i])
+	}
+	for i := range d.Retracted {
+		k := sp.ShardOf(d.Retracted[i].Item)
+		out[k].Retracted = append(out[k].Retracted, d.Retracted[i])
+	}
+	for i := range d.Changed {
+		k := sp.ShardOf(d.Changed[i].Old.Item)
+		out[k].Changed = append(out[k].Changed, d.Changed[i])
+	}
+	return out, nil
+}

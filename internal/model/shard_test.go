@@ -1,0 +1,311 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"truthdiscovery/internal/value"
+)
+
+// specsFor returns both shard kinds at several shard counts for an item
+// table of the given size.
+func specsFor(numItems int) []ShardSpec {
+	var out []ShardSpec
+	for _, n := range []int{1, 2, 3, 7} {
+		out = append(out, RangeShards(n, numItems), HashShards(n, numItems))
+	}
+	return out
+}
+
+// TestShardOfStable pins the assignment function: ShardOf is a pure
+// function of (spec, item) — two identical specs agree item by item —
+// and the hash constants are frozen (a change would silently re-home
+// every stored shard), so a few concrete assignments are pinned too.
+func TestShardOfStable(t *testing.T) {
+	const numItems = 1000
+	for _, sp := range specsFor(numItems) {
+		dup := ShardSpec{Shards: sp.Shards, Kind: sp.Kind, NumItems: sp.NumItems}
+		for item := 0; item < numItems; item++ {
+			k := sp.ShardOf(ItemID(item))
+			if k < 0 || k >= sp.Shards {
+				t.Fatalf("%v/%d: item %d mapped to shard %d", sp.Kind, sp.Shards, item, k)
+			}
+			if dup.ShardOf(ItemID(item)) != k {
+				t.Fatalf("%v/%d: item %d not stable across spec copies", sp.Kind, sp.Shards, item)
+			}
+		}
+	}
+
+	// Range boundaries are i*NumItems/Shards: monotone, contiguous, and
+	// every shard non-empty when NumItems >= Shards.
+	rs := RangeShards(3, 9)
+	for item, want := range []int{0, 0, 0, 1, 1, 1, 2, 2, 2} {
+		if got := rs.ShardOf(ItemID(item)); got != want {
+			t.Fatalf("range ShardOf(%d) = %d, want %d", item, got, want)
+		}
+	}
+	// Frozen splitmix64 assignments (would change only if the mix
+	// constants changed, which the sharding contract forbids).
+	hs := HashShards(7, 1000)
+	for id, want := range map[ItemID]int{0: 0, 1: 6, 2: 1, 3: 4, 999: 0} {
+		if got := hs.ShardOf(id); got != want {
+			t.Fatalf("hash ShardOf(%d) = %d, want pinned %d", id, got, want)
+		}
+	}
+}
+
+// TestShardSpecValidate checks the misuse guards.
+func TestShardSpecValidate(t *testing.T) {
+	for _, sp := range []ShardSpec{
+		{},
+		{Shards: 0, Kind: ShardByRange, NumItems: 10},
+		{Shards: 2, Kind: ShardByRange, NumItems: -1},
+		{Shards: 2, Kind: ShardKind(9), NumItems: 10},
+	} {
+		if err := sp.Validate(); err == nil {
+			t.Fatalf("spec %+v validated", sp)
+		}
+	}
+	// An empty item table is legal: every shard is empty.
+	if err := RangeShards(2, 0).Validate(); err != nil {
+		t.Fatalf("empty-world spec rejected: %v", err)
+	}
+	empty := NewSnapshot(0, "empty", 0, nil)
+	shards, err := empty.Shard(RangeShards(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, sh := range shards {
+		if len(sh.Claims) != 0 {
+			t.Fatalf("empty-world shard %d has claims", k)
+		}
+	}
+	snap := snapOf(t, 0, "d", 8, []Claim{c(0, 1, 5)})
+	if _, err := snap.Shard(RangeShards(2, 99)); err == nil {
+		t.Fatal("spec/item-table mismatch accepted by Shard")
+	}
+	d, _ := snap.Diff(snap)
+	if _, err := d.Split(RangeShards(2, 99)); err == nil {
+		t.Fatal("spec/item-table mismatch accepted by Split")
+	}
+}
+
+// TestSnapshotShardPartition checks that Shard is an exact partition:
+// each claim lands on its item's shard, claim order inside a shard is
+// the snapshot order, and re-interleaving the shards yields the
+// original claim list.
+func TestSnapshotShardPartition(t *testing.T) {
+	const numItems = 40
+	rng := rand.New(rand.NewSource(7))
+	var claims []Claim
+	for item := 0; item < numItems; item++ {
+		for src := 0; src < 9; src++ {
+			if rng.Intn(3) == 0 {
+				claims = append(claims, c(SourceID(src), ItemID(item), float64(rng.Intn(50))))
+			}
+		}
+	}
+	snap := NewSnapshot(3, "d3", numItems, claims)
+
+	for _, sp := range specsFor(numItems) {
+		shards, err := snap.Shard(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != sp.Shards {
+			t.Fatalf("%v/%d: %d shards", sp.Kind, sp.Shards, len(shards))
+		}
+		total := 0
+		for k, sh := range shards {
+			if sh.Day != snap.Day || sh.Label != snap.Label || sh.NumItems() != numItems {
+				t.Fatalf("%v/%d: shard %d identity %d %q %d", sp.Kind, sp.Shards, k, sh.Day, sh.Label, sh.NumItems())
+			}
+			total += len(sh.Claims)
+			for i := range sh.Claims {
+				if got := sp.ShardOf(sh.Claims[i].Item); got != k {
+					t.Fatalf("%v/%d: claim on item %d in shard %d, ShardOf says %d",
+						sp.Kind, sp.Shards, sh.Claims[i].Item, k, got)
+				}
+			}
+		}
+		if total != len(snap.Claims) {
+			t.Fatalf("%v/%d: %d claims across shards, want %d", sp.Kind, sp.Shards, total, len(snap.Claims))
+		}
+		// Per-item claim slices are identical on the owning shard, and the
+		// shard's index agrees with the full snapshot's.
+		for item := 0; item < numItems; item++ {
+			want := snap.ItemClaims(ItemID(item))
+			got := shards[sp.ShardOf(ItemID(item))].ItemClaims(ItemID(item))
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v/%d: item %d claims differ on its shard", sp.Kind, sp.Shards, item)
+			}
+		}
+	}
+}
+
+// mutateClaims derives a random target claim set from a base (changes,
+// retractions, additions), shared by the split property tests.
+func mutateClaims(rng *rand.Rand, base *Snapshot, numItems, numSources int) []Claim {
+	var target []Claim
+	seen := make(map[[2]int32]bool)
+	for _, cl := range base.Claims {
+		seen[[2]int32{int32(cl.Item), int32(cl.Source)}] = true
+		switch rng.Intn(10) {
+		case 0: // retract
+		case 1, 2: // change value
+			cl.Val = value.Num(cl.Val.Num + 1 + float64(rng.Intn(5)))
+			target = append(target, cl)
+		default:
+			target = append(target, cl)
+		}
+	}
+	for k := 0; k < 25; k++ {
+		item, src := int32(rng.Intn(numItems)), int32(rng.Intn(numSources))
+		if seen[[2]int32{item, src}] {
+			continue
+		}
+		seen[[2]int32{item, src}] = true
+		target = append(target, c(SourceID(src), ItemID(item), float64(rng.Intn(50))))
+	}
+	return target
+}
+
+// checkSplitReassembles asserts the routing property for one (base,
+// delta, spec): applying the delta's shard k to the base's shard k
+// reproduces the target's shard k exactly — Split + per-shard Apply
+// commutes with full Apply + Shard.
+func checkSplitReassembles(t *testing.T, base, targetFull *Snapshot, d *Delta, sp ShardSpec) {
+	t.Helper()
+	baseShards, err := base.Shard(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetShards, err := targetFull.Shard(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := d.Split(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := 0; true {
+		for _, p := range parts {
+			got += p.Size()
+		}
+		if got != d.Size() {
+			t.Fatalf("%v/%d: split ops %d, want %d", sp.Kind, sp.Shards, got, d.Size())
+		}
+	}
+	for k := range parts {
+		applied, err := baseShards[k].Apply(parts[k])
+		if err != nil {
+			t.Fatalf("%v/%d shard %d: %v", sp.Kind, sp.Shards, k, err)
+		}
+		if !reflect.DeepEqual(applied.Claims, targetShards[k].Claims) {
+			t.Fatalf("%v/%d shard %d: per-shard apply diverged from sharded target",
+				sp.Kind, sp.Shards, k)
+		}
+		// Dirty worklists partition too: shard k's dirty items are exactly
+		// the full delta's dirty items that map to shard k.
+		var want []ItemID
+		for _, it := range d.DirtyItems() {
+			if sp.ShardOf(it) == k {
+				want = append(want, it)
+			}
+		}
+		got := parts[k].DirtyItems()
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v/%d shard %d: dirty items %v, want %v", sp.Kind, sp.Shards, k, got, want)
+		}
+	}
+}
+
+// TestDeltaSplitReassembles is the randomised routing property over many
+// worlds, both shard kinds, several shard counts, for Diff-produced
+// (sorted) deltas.
+func TestDeltaSplitReassembles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const numItems, numSources = 60, 10
+	for trial := 0; trial < 25; trial++ {
+		var baseClaims []Claim
+		for item := 0; item < numItems; item++ {
+			for src := 0; src < numSources; src++ {
+				if rng.Intn(3) == 0 {
+					baseClaims = append(baseClaims, c(SourceID(src), ItemID(item), float64(rng.Intn(50))))
+				}
+			}
+		}
+		base := NewSnapshot(0, "base", numItems, baseClaims)
+		target := NewSnapshot(1, "target", numItems, mutateClaims(rng, base, numItems, numSources))
+		d, err := base.Diff(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range specsFor(numItems) {
+			checkSplitReassembles(t, base, target, d, sp)
+		}
+	}
+}
+
+// TestDeltaSplitHandAssembled checks the property holds for unsorted
+// hand-assembled deltas too (the sorted flag must not leak onto splits
+// of unverified deltas).
+func TestDeltaSplitHandAssembled(t *testing.T) {
+	const n = 16
+	base := snapOf(t, 0, "d0", n, []Claim{
+		c(0, 1, 5), c(1, 2, 6), c(0, 4, 9), c(2, 9, 3), c(1, 14, 8),
+	})
+	d := &Delta{
+		ToDay: 1, ToLabel: "d1", NumItems: n,
+		Added:     []Claim{c(2, 8, 3), c(2, 0, 1), c(0, 15, 2)},
+		Retracted: []Claim{c(0, 4, 9)},
+		Changed:   []ValueChange{{Old: c(1, 14, 8), New: c(1, 14, 8.5)}, {Old: c(0, 1, 5), New: c(0, 1, 5.5)}},
+	}
+	targetFull, err := base.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specsFor(n) {
+		checkSplitReassembles(t, base, targetFull, d, sp)
+	}
+}
+
+// FuzzDeltaSplit fuzzes the routing property: arbitrary seeds drive the
+// world, the churn and the spec, and the reassembly must hold exactly.
+func FuzzDeltaSplit(f *testing.F) {
+	f.Add(int64(1), uint8(2), false)
+	f.Add(int64(9), uint8(5), true)
+	f.Fuzz(func(t *testing.T, seed int64, shards uint8, hashed bool) {
+		if shards == 0 {
+			shards = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		const numItems, numSources = 30, 6
+		var baseClaims []Claim
+		for item := 0; item < numItems; item++ {
+			for src := 0; src < numSources; src++ {
+				if rng.Intn(3) == 0 {
+					baseClaims = append(baseClaims, c(SourceID(src), ItemID(item), float64(rng.Intn(20))))
+				}
+			}
+		}
+		base := NewSnapshot(0, "base", numItems, baseClaims)
+		target := NewSnapshot(1, "target", numItems, mutateClaims(rng, base, numItems, numSources))
+		d, err := base.Diff(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := RangeShards(int(shards), numItems)
+		if hashed {
+			sp = HashShards(int(shards), numItems)
+		}
+		checkSplitReassembles(t, base, target, d, sp)
+	})
+}

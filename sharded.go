@@ -1,0 +1,156 @@
+package truthdiscovery
+
+import (
+	"fmt"
+
+	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/model"
+)
+
+// Sharded fusion: partition the items into N shards, fuse each shard as
+// its own problem, and merge source trust across shards in one
+// deterministic pass. The answers are bit-identical to Fuse at any
+// shard count — per-item phases are item-local and the trust reduction
+// folds the shards' items in global item order, the exact association
+// the flat engine uses — so sharding is purely an execution choice:
+// shard-level concurrency when everything fits, or a bounded memory
+// ceiling (FuseOptions.MaxResidentShards) for worlds whose single flat
+// arena would not.
+//
+// Items are assigned to shards by the stable range partitioning of
+// model.RangeShards; hash sharding and direct spec control live in the
+// internal packages (model.ShardSpec, fusion.FuseSharded).
+
+// ShardedState is the sharded analogue of FusedState: the reusable
+// output of FuseShardedStateful, advanced over deltas with
+// FuseShardedIncremental. Each day's delta is routed to the item shards
+// (deltas partition cleanly by item), every shard maintains its problem
+// from its own dirty worklist, and one trust merge finishes the day.
+type ShardedState struct {
+	st *fusion.ShardedState
+	// Stats describes the fuse that produced this state.
+	Stats IncrementalStats
+}
+
+// Method returns the fusion method name the state was built with.
+func (s *ShardedState) Method() string { return s.st.Method().Name() }
+
+// Result exposes the underlying fusion result (trust vector, rounds...).
+func (s *ShardedState) Result() *FusionResult { return s.st.Result }
+
+// PeakResidentBytes reports the largest total of simultaneously resident
+// shard-arena bytes the state's engine has observed — the ceiling
+// MaxResidentShards bounds.
+func (s *ShardedState) PeakResidentBytes() int64 {
+	return s.st.Sharded.PeakResidentBytes()
+}
+
+// shardSpecFor resolves the public options into a range spec.
+func shardSpecFor(snap *Snapshot, opts FuseOptions) model.ShardSpec {
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	return model.RangeShards(shards, snap.NumItems())
+}
+
+// FuseSharded resolves conflicts like Fuse, but over FuseOptions.Shards
+// item shards with a deterministic cross-shard trust merge. Answers are
+// bit-identical to Fuse; FuseOptions.MaxResidentShards additionally
+// bounds how many shard arenas are in memory at once.
+func FuseSharded(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answer, error) {
+	m, ok := fusion.ByName(method)
+	if !ok {
+		return nil, fmt.Errorf("truthdiscovery: unknown fusion method %q", method)
+	}
+	fo := fusion.Options{KnownGroups: opts.KnownCopyGroups, Parallelism: opts.Parallelism}
+	if opts.Gold != nil {
+		// Roster-based sampling: no flat Problem is built here, so the
+		// MaxResidentShards memory ceiling holds on the Gold path too.
+		roster := opts.Sources
+		if roster == nil {
+			roster = fusion.DefaultRoster(ds)
+		}
+		fo.InputTrust = m.TrustScale(fusion.SampleAccuracySources(ds, snap, roster, opts.Gold))
+		fo.InputAttrTrust = fusion.SampleAttrAccuracySources(ds, snap, roster, opts.Gold)
+	}
+	res, sp, err := fusion.FuseSharded(ds, snap, opts.Sources, shardSpecFor(snap, opts),
+		m, fo, opts.MaxResidentShards)
+	if err != nil {
+		return nil, err
+	}
+	return answersForSharded(ds, sp, res), nil
+}
+
+// FuseShardedStateful is FuseStateful over the shard set: it fuses the
+// snapshot and returns the reusable sharded state FuseShardedIncremental
+// advances over deltas. Sampled-trust runs (FuseOptions.Gold) have no
+// estimation loop to reuse and are not supported, as with FuseStateful.
+func FuseShardedStateful(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answer, *ShardedState, error) {
+	m, ok := fusion.ByName(method)
+	if !ok {
+		return nil, nil, fmt.Errorf("truthdiscovery: unknown fusion method %q", method)
+	}
+	if opts.Gold != nil {
+		return nil, nil, fmt.Errorf("truthdiscovery: FuseShardedStateful does not support sampled trust (Gold); use FuseSharded")
+	}
+	st, err := fusion.NewShardedState(ds, snap, opts.Sources, shardSpecFor(snap, opts), m,
+		fusion.Options{KnownGroups: opts.KnownCopyGroups, Parallelism: opts.Parallelism},
+		opts.MaxResidentShards)
+	if err != nil {
+		return nil, nil, err
+	}
+	state := &ShardedState{st: st, Stats: IncrementalStats{
+		Mode: ModeFull, DirtyItems: st.Sharded.NumItems(), TotalItems: st.Sharded.NumItems(),
+	}}
+	return answersForSharded(ds, st.Sharded, st.Result), state, nil
+}
+
+// FuseShardedIncremental advances a sharded state over a delta: the
+// delta splits by item shard, every shard applies its slice and
+// maintains its problem from its own dirty worklist, and the method
+// re-runs with the single cross-shard trust merge. Answers are always
+// bit-identical to Fuse on the delta's target snapshot (the sharded
+// engine has no approximate warm path; TrustTolerance is ignored).
+func FuseShardedIncremental(ds *Dataset, prev *ShardedState, delta *Delta, method string, opts FuseOptions) ([]Answer, *ShardedState, error) {
+	if prev == nil || prev.st == nil {
+		return nil, nil, fmt.Errorf("truthdiscovery: FuseShardedIncremental needs a state from FuseShardedStateful")
+	}
+	if got := prev.Method(); got != method {
+		return nil, nil, fmt.Errorf("truthdiscovery: state was fused with %q, not %q", got, method)
+	}
+	if opts.Gold != nil {
+		return nil, nil, fmt.Errorf("truthdiscovery: FuseShardedIncremental does not support sampled trust (Gold); use FuseSharded")
+	}
+	if opts.Sources != nil && !sameSources(opts.Sources, prev.st.Sharded.SourceIDs) {
+		return nil, nil, fmt.Errorf("truthdiscovery: FuseShardedIncremental cannot change the source roster; start a new state with FuseShardedStateful")
+	}
+	st, stats, err := prev.st.Advance(ds, delta, fusion.Options{
+		KnownGroups: opts.KnownCopyGroups,
+		Parallelism: opts.Parallelism,
+	}, fusion.IncrementalOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	state := &ShardedState{st: st, Stats: stats}
+	return answersForSharded(ds, st.Sharded, st.Result), state, nil
+}
+
+// answersForSharded renders a sharded fusion result as one Answer per
+// claimed item, in global item order — the same shape answersFor
+// produces from a flat problem.
+func answersForSharded(ds *Dataset, sp *fusion.ShardedProblem, res *fusion.Result) []Answer {
+	answers := make([]Answer, sp.NumItems())
+	sp.ForEachItem(func(g int, it *fusion.ProblemItem) {
+		bk := it.Buckets[res.Chosen[g]]
+		answers[g] = Answer{
+			Item:      it.Item,
+			ObjectKey: ds.Objects[ds.Items[it.Item].Object].Key,
+			Attribute: ds.Attrs[it.Attr].Name,
+			Value:     bk.Rep,
+			Support:   len(bk.Sources),
+			Providers: it.Providers,
+		}
+	})
+	return answers
+}

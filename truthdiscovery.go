@@ -203,6 +203,16 @@ type FuseOptions struct {
 	// this from the previous state, falling back to full re-fusion past
 	// it. 0 (the default) keeps incremental answers bit-identical to Fuse.
 	TrustTolerance float64
+	// Shards (FuseSharded and FuseShardedStateful) partitions the items
+	// into this many range shards, each fused as its own problem with one
+	// deterministic cross-shard trust merge. 0 or 1 means one shard.
+	// Answers are bit-identical to Fuse at any setting.
+	Shards int
+	// MaxResidentShards (with Shards > 1) bounds how many shard arenas
+	// stay in memory at once: shards beyond the bound are rebuilt on
+	// demand and dropped after each pass, trading time for a memory
+	// ceiling of roughly one shard's arena. 0 keeps every shard resident.
+	MaxResidentShards int
 }
 
 // Fuse resolves conflicts in a snapshot with the named method and returns
