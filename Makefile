@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench benchpairs benchgate bench-profile examples lint fmt ci
+.PHONY: build test race bench benchpairs benchgate bench-profile examples serve-smoke lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# The serial/parallel, full/incremental, flat/sharded and
-# sorted/unsorted-Apply benchmark pairs, at 1 and 4 cores — the
+# The serial/parallel, full/incremental, flat/sharded,
+# sorted/unsorted-Apply and serving-layer benchmark pairs, at 1 and 4
+# cores — the
 # multi-core trajectory CI records per push (bench.txt). -benchmem
 # records allocs/op, which the gate compares raw since allocation counts
 # are hardware-independent (whole-Run benches allocate their per-run
@@ -30,7 +31,7 @@ bench:
 # pipefail keeps a failed/panicking bench run from hiding behind tee.
 benchpairs: SHELL := /bin/bash
 benchpairs:
-	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental|SnapshotApply|Sharded)' -cpu=1,4 -benchtime=3x -benchmem . ./internal/model | tee bench.txt
+	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental|SnapshotApply|Sharded|Serve|Store)' -cpu=1,4 -benchtime=3x -benchmem . ./internal/model | tee bench.txt
 
 # Regression gate: hardware-normalised ns/op against the committed
 # baseline (see cmd/benchdiff). BENCH is the candidate JSON.
@@ -46,6 +47,12 @@ bench-profile:
 	$(GO) test -run='^$$' \
 		-bench='BenchmarkFusionAccuFormatAttrSerial|BenchmarkMethodAccuPr$$|BenchmarkMethodCosine$$|BenchmarkMethodTwoEstimates$$' \
 		-benchtime=5x -benchmem -cpuprofile=cpu.pprof -memprofile=mem.pprof .
+
+# Serving smoke: start truthserved on an ephemeral port, curl every
+# endpoint, and check one served answer against cmd/fuse on the same
+# claims (plus the shared flag validation). CI runs this in the test job.
+serve-smoke:
+	GO=$(GO) ./scripts/serve-smoke.sh
 
 # Smoke-run every example program (tier-1 only builds them).
 examples:
@@ -64,4 +71,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench examples
+ci: lint build race bench examples serve-smoke

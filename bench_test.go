@@ -7,6 +7,8 @@ package truthdiscovery
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -14,6 +16,8 @@ import (
 	"truthdiscovery/internal/fusion"
 	"truthdiscovery/internal/model"
 	"truthdiscovery/internal/report"
+	"truthdiscovery/internal/serve"
+	"truthdiscovery/internal/store"
 )
 
 var (
@@ -586,5 +590,118 @@ func BenchmarkShardedIncrementalDelta(b *testing.B) {
 	b.StopTimer()
 	if total > 0 {
 		b.ReportMetric(100*float64(dirty)/float64(total), "dirty%/day")
+	}
+}
+
+// Serving-layer benchmarks (the "millions of users" axis): handler
+// throughput on point queries against the served Stock world, and the
+// store's persist/load round trip. Both are in the benchpairs gate;
+// ServeAnswers additionally reports requests/sec in the bench artifact.
+
+var (
+	serveBenchOnce    sync.Once
+	serveBenchHandler http.Handler
+	serveBenchKeys    []string
+	serveBenchView    *serve.View
+)
+
+// serveBenchWorld publishes (once) the fused Stock world behind a server
+// and collects the object keys for point queries.
+func serveBenchWorld(b *testing.B) (http.Handler, []string, *serve.View) {
+	env := benchEnviron(b)
+	d := env.Stock()
+	serveBenchOnce.Do(func() {
+		eng, err := serve.NewFlatEngine(d.DS, d.Snap, d.Fused, "AccuPr", fusion.Options{})
+		if err != nil {
+			panic(err)
+		}
+		srv := serve.NewServer()
+		r := serve.NewRefresher(d.DS, eng, srv, nil, "bench", d.Snap.Day, d.Snap.Label, fusion.Options{})
+		if _, err := r.Publish(); err != nil {
+			panic(err)
+		}
+		serveBenchHandler = srv.Handler()
+		serveBenchView = srv.View()
+		seen := make(map[string]bool)
+		for i := range serveBenchView.Answers {
+			key := serveBenchView.Answers[i].ObjectKey
+			if !seen[key] {
+				seen[key] = true
+				serveBenchKeys = append(serveBenchKeys, key)
+			}
+		}
+	})
+	return serveBenchHandler, serveBenchKeys, serveBenchView
+}
+
+// BenchmarkServeAnswers measures the point-query path — GET
+// /answers/{object} — end to end through the handler (routing, view
+// load, JSON encoding), the request shape a per-object cache would see.
+func BenchmarkServeAnswers(b *testing.B) {
+	h, keys, _ := serveBenchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/answers/"+keys[i%len(keys)], nil)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeAnswersParallel is the same query mix driven from all
+// procs at once — the lock-free read path under contention.
+func BenchmarkServeAnswersParallel(b *testing.B) {
+	h, keys, _ := serveBenchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodGet, "/answers/"+keys[i%len(keys)], nil)
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				panic(rec.Code)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkStoreRoundTrip measures one full persist → load cycle of the
+// fused Stock run (encode, CRC, atomic rename; read, verify, decode).
+func BenchmarkStoreRoundTrip(b *testing.B) {
+	_, _, view := serveBenchWorld(b)
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := view.Run(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := st.Save(run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loaded, err := st.Load(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(loaded.Answers) != len(run.Answers) {
+			b.Fatal("bad round trip")
+		}
+		b.StopTimer()
+		if err := st.Prune(1); err != nil { // keep the dir small at any b.N
+			b.Fatal(err)
+		}
+		b.StartTimer()
 	}
 }

@@ -26,6 +26,19 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate the flag combination before any I/O: negative knobs and a
+	// -max-resident-shards without -shards used to be silent no-ops.
+	opts := td.FuseOptions{
+		Parallelism:       *parallel,
+		Shards:            *shards,
+		MaxResidentShards: *maxResident,
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if _, ok := td.MethodByName(*method); !ok {
 		fmt.Fprintf(os.Stderr, "unknown method %q; available:\n", *method)
 		for _, m := range td.Methods() {
@@ -50,15 +63,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opts := td.FuseOptions{Parallelism: *parallel}
-	var answers []td.Answer
-	if *shards > 1 {
-		opts.Shards = *shards
-		opts.MaxResidentShards = *maxResident
-		answers, err = td.FuseSharded(ds, snap, *method, opts)
-	} else {
-		answers, err = td.Fuse(ds, snap, *method, opts)
-	}
+	// Fuse itself routes Shards > 1 to the sharded engine (bit-identical
+	// answers), so the command no longer branches on the flag.
+	answers, err := td.Fuse(ds, snap, *method, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,264 @@
+// Command truthserved serves persisted fusion results over HTTP — the
+// paper's continuously queried answer table behind the daily pipeline.
+//
+// It fuses a claim snapshot once at startup (or resumes the current run
+// from the store without re-fusing), serves it from an immutable
+// atomically swapped view, and — when the input is a multi-day stream —
+// refreshes in the background: each day's delta advances the incremental
+// engine, the new run is persisted to the store, and the served version
+// swaps without ever blocking a reader.
+//
+//	truthserved -in claims.csv -method AccuPr -addr :8080 -store ./runs
+//	truthserved -simulate stock -days 5 -refresh 24h -method AccuFormatAttr
+//
+// Endpoints: /answers, /answers/{object}, /trust, /methods, /healthz,
+// /stats. With -addr host:0 the chosen port is printed on stdout as
+// "truthserved: serving on http://host:port".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	td "truthdiscovery"
+	"truthdiscovery/internal/datagen"
+	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/serve"
+	"truthdiscovery/internal/store"
+	"truthdiscovery/internal/value"
+)
+
+func main() {
+	var (
+		method      = flag.String("method", "AccuPr", "fusion method name")
+		in          = flag.String("in", "", "claims CSV path ('-' = stdin); single-snapshot mode")
+		simulate    = flag.String("simulate", "", "serve a simulated collection instead of -in: stock or flight")
+		days        = flag.Int("days", 3, "with -simulate: days in the stream (day 0 serves first, later days refresh)")
+		seed        = flag.Int64("seed", 1, "with -simulate: world seed")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral, printed on stdout)")
+		storeDir    = flag.String("store", "", "store directory for persisted runs (empty = serve from memory only)")
+		refresh     = flag.Duration("refresh", 24*time.Hour, "delay between delta refreshes (the paper's pipeline is daily)")
+		parallel    = flag.Int("parallel", 0, "fusion worker count (0 = GOMAXPROCS, 1 = serial)")
+		shards      = flag.Int("shards", 0, "item shards (0/1 = flat engine); answers are bit-identical at any count")
+		maxResident = flag.Int("max-resident-shards", 0, "with -shards: shard arenas kept in memory at once (0 = all)")
+	)
+	flag.Parse()
+
+	// Validate the flag combination up front, exactly as cmd/fuse does:
+	// negative knobs and -max-resident-shards without -shards are usage
+	// errors, not silent no-ops.
+	opts := td.FuseOptions{
+		Parallelism:       *parallel,
+		Shards:            *shards,
+		MaxResidentShards: *maxResident,
+	}
+	if err := opts.Validate(); err != nil {
+		usageError(err.Error())
+	}
+	if _, ok := td.MethodByName(*method); !ok {
+		fmt.Fprintf(os.Stderr, "unknown method %q; available:\n", *method)
+		for _, m := range td.Methods() {
+			fmt.Fprintf(os.Stderr, "  %s\n", m.Name())
+		}
+		os.Exit(2)
+	}
+	if (*in == "") == (*simulate == "") {
+		usageError("exactly one of -in or -simulate must be given")
+	}
+	if *simulate != "" && *simulate != "stock" && *simulate != "flight" {
+		usageError(fmt.Sprintf("-simulate must be stock or flight, got %q", *simulate))
+	}
+	if *days < 1 {
+		usageError(fmt.Sprintf("-days must be >= 1, got %d", *days))
+	}
+	if *refresh <= 0 {
+		usageError(fmt.Sprintf("-refresh must be positive, got %s", *refresh))
+	}
+
+	ds, day0, deltas, err := loadWorld(*in, *simulate, *days, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+	}
+
+	fo := fusion.Options{Parallelism: *parallel}
+	buildEngine := func() (serve.Engine, error) {
+		if *shards > 1 {
+			return serve.NewShardedEngine(ds, day0, nil, *method, *shards, *maxResident, fo)
+		}
+		return serve.NewFlatEngine(ds, day0, nil, *method, fo)
+	}
+	// The fingerprint couples the method/options digest with the input
+	// data's digest AND the tolerance regime: a different CSV in the same
+	// store directory, or the same day-0 claims bucketed under tolerances
+	// derived from a different collection period (-days), re-fuses
+	// instead of serving answers the current configuration would not
+	// produce.
+	fp := opts.Fingerprint(*method) + "@" + day0.Digest() + "/" + ds.ToleranceDigest()
+	srv := serve.NewServer()
+
+	// A store whose current run carries this exact fingerprint serves it
+	// immediately: without pending deltas no engine is built at all (a
+	// warm restart costs one file read, no fuse); with pending deltas the
+	// engine is rebuilt and fast-forwarded to the run's day before the
+	// refresher takes over. Anything else publishes a fresh fuse.
+	// Every fallback to a fresh fuse is reported: an operator expecting a
+	// one-file-read warm restart must learn when the persisted runs were
+	// unusable and a full re-fusion happened instead.
+	var r *serve.Refresher
+	if st != nil {
+		switch run, err := st.LoadCurrent(); {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "truthserved: cannot resume from %s (%v); re-fusing\n", *storeDir, err)
+		case run == nil:
+			// Empty store: nothing to resume, nothing to report.
+		case run.Fingerprint != fp:
+			fmt.Fprintf(os.Stderr, "truthserved: stored run %d was fused under a different configuration or input; re-fusing\n", run.Version)
+		case run.Day < day0.Day || run.Day-day0.Day > len(deltas):
+			fmt.Fprintf(os.Stderr, "truthserved: stored run %d reflects day %d, outside this stream (days %d..%d); re-fusing\n",
+				run.Version, run.Day, day0.Day, day0.Day+len(deltas))
+		default:
+			steps := run.Day - day0.Day
+			var eng serve.Engine
+			caughtUp := true
+			if steps < len(deltas) {
+				if eng, err = buildEngine(); err != nil {
+					fatal(err)
+				}
+				for i := 0; i < steps; i++ {
+					if _, err := eng.Advance(ds, deltas[i], fo); err != nil {
+						fmt.Fprintf(os.Stderr, "truthserved: fast-forward to day %d failed (%v); re-fusing\n", run.Day, err)
+						caughtUp = false
+						break
+					}
+				}
+			}
+			if caughtUp {
+				rr := serve.NewRefresher(ds, eng, srv, st, fp, run.Day, run.Label, fo)
+				if _, err := rr.Resume(run); err != nil {
+					fmt.Fprintf(os.Stderr, "truthserved: %v; re-fusing\n", err)
+				} else {
+					r = rr
+					deltas = deltas[steps:]
+					fmt.Printf("truthserved: resumed run version %d (%s, %s) from %s\n",
+						run.Version, run.Method, run.Label, *storeDir)
+				}
+			}
+		}
+	}
+	if r == nil {
+		eng, err := buildEngine()
+		if err != nil {
+			fatal(err)
+		}
+		r = serve.NewRefresher(ds, eng, srv, st, fp, day0.Day, day0.Label, fo)
+		v, err := r.Publish()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("truthserved: published version %d (%s, %s, %d items)\n",
+			v.Version, v.Method, v.Label, len(v.Answers))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("truthserved: serving on http://%s\n", ln.Addr())
+
+	// The background refresher plays the remaining deltas, one per
+	// -refresh interval — the daily pipeline at demo speed.
+	if len(deltas) > 0 {
+		go func() {
+			ticker := time.NewTicker(*refresh)
+			defer ticker.Stop()
+			for _, dl := range deltas {
+				<-ticker.C
+				v, stats, err := r.Apply(dl)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "truthserved: refresh failed (still serving the last good version): %v\n", err)
+					return
+				}
+				fmt.Printf("truthserved: refreshed to version %d (%s, %s advance, %d/%d items dirty)\n",
+					v.Version, v.Label, stats.Mode, stats.DirtyItems, stats.TotalItems)
+			}
+			fmt.Println("truthserved: delta stream exhausted; serving the final version")
+		}()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+// loadWorld resolves the data source: a claims CSV (one snapshot, no
+// refresh) or a simulated multi-day collection with its delta stream.
+func loadWorld(in, simulate string, days int, seed int64) (*model.Dataset, *model.Snapshot, []*model.Delta, error) {
+	if in != "" {
+		var r io.Reader = os.Stdin
+		if in != "-" {
+			f, err := os.Open(in)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		ds, snap, err := td.LoadClaimsCSV(r)
+		return ds, snap, nil, err
+	}
+
+	var gen datagen.Generator
+	switch simulate {
+	case "stock":
+		cfg := datagen.DefaultStockConfig(seed)
+		cfg.Days = days
+		gen = datagen.NewStock(cfg)
+	case "flight":
+		cfg := datagen.DefaultFlightConfig(seed)
+		cfg.Days = days
+		gen = datagen.NewFlight(cfg)
+	}
+	ds := gen.Dataset()
+	snaps := make([]*model.Snapshot, days)
+	for d := 0; d < days; d++ {
+		snaps[d] = gen.Snapshot(d)
+		ds.AddSnapshot(snaps[d])
+	}
+	// One tolerance regime across the whole period — the invariant the
+	// incremental engine relies on (same as Builder.BuildStream).
+	ds.ComputeTolerances(value.DefaultAlpha, snaps...)
+	deltas := make([]*model.Delta, 0, days-1)
+	for d := 1; d < days; d++ {
+		dl, err := snaps[d-1].Diff(snaps[d])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		deltas = append(deltas, dl)
+	}
+	return ds, snaps[0], deltas, nil
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "truthserved:", err)
+	os.Exit(1)
+}

@@ -68,6 +68,12 @@ func (s *FusedState) Result() *FusionResult { return s.st.Result }
 // runs (FuseOptions.Gold) have no estimation loop to reuse and are not
 // supported here — use Fuse for those.
 func FuseStateful(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answer, *FusedState, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Shards > 1 {
+		return nil, nil, fmt.Errorf("truthdiscovery: FuseStateful runs the flat engine and would ignore Shards = %d; use FuseShardedStateful", opts.Shards)
+	}
 	m, ok := fusion.ByName(method)
 	if !ok {
 		return nil, nil, fmt.Errorf("truthdiscovery: unknown fusion method %q", method)
@@ -82,7 +88,7 @@ func FuseStateful(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) 
 	state := &FusedState{st: st, Stats: IncrementalStats{
 		Mode: ModeFull, DirtyItems: len(st.Problem.Items), TotalItems: len(st.Problem.Items),
 	}}
-	return answersFor(ds, st.Problem, st.Result), state, nil
+	return fusion.AnswersFor(ds, st.Problem, st.Result), state, nil
 }
 
 // FuseIncremental advances a previous fused state over a delta and returns
@@ -96,6 +102,12 @@ func FuseStateful(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) 
 // warm-started from the previous trust, with an automatic fallback to full
 // re-fusion as soon as any source's trust drifts past the tolerance.
 func FuseIncremental(ds *Dataset, prev *FusedState, delta *Delta, method string, opts FuseOptions) ([]Answer, *FusedState, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Shards > 1 {
+		return nil, nil, fmt.Errorf("truthdiscovery: FuseIncremental runs the flat engine and would ignore Shards = %d; use FuseShardedIncremental", opts.Shards)
+	}
 	if prev == nil || prev.st == nil {
 		return nil, nil, fmt.Errorf("truthdiscovery: FuseIncremental needs a state from FuseStateful")
 	}
@@ -118,7 +130,7 @@ func FuseIncremental(ds *Dataset, prev *FusedState, delta *Delta, method string,
 		return nil, nil, err
 	}
 	state := &FusedState{st: st, Stats: stats}
-	return answersFor(ds, st.Problem, st.Result), state, nil
+	return fusion.AnswersFor(ds, st.Problem, st.Result), state, nil
 }
 
 // sameSources reports whether two rosters are element-wise equal.

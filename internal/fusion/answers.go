@@ -1,0 +1,55 @@
+package fusion
+
+import (
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// Answer is one fused data item rendered for consumers: the winning value
+// with its provenance counts. It is the unit the serving layer persists
+// (internal/store) and serves (internal/serve), and the element type of the
+// public Fuse return value.
+type Answer struct {
+	Item      model.ItemID
+	ObjectKey string
+	Attribute string
+	Value     value.Value
+	// Support is the number of sources providing the winning value;
+	// Providers the number providing the item.
+	Support   int
+	Providers int
+}
+
+// AnswersFor renders a fusion result as one Answer per claimed item, in
+// item order.
+func AnswersFor(ds *model.Dataset, p *Problem, res *Result) []Answer {
+	answers := make([]Answer, len(p.Items))
+	for i := range p.Items {
+		answers[i] = answerFor(ds, &p.Items[i], res.Chosen[i])
+	}
+	return answers
+}
+
+// AnswersForSharded renders a sharded fusion result as one Answer per
+// claimed item, in global item order — the same shape AnswersFor produces
+// from a flat problem.
+func AnswersForSharded(ds *model.Dataset, sp *ShardedProblem, res *Result) []Answer {
+	answers := make([]Answer, sp.NumItems())
+	sp.ForEachItem(func(g int, it *ProblemItem) {
+		answers[g] = answerFor(ds, it, res.Chosen[g])
+	})
+	return answers
+}
+
+// answerFor renders one item's chosen bucket.
+func answerFor(ds *model.Dataset, it *ProblemItem, chosen int32) Answer {
+	bk := it.Buckets[chosen]
+	return Answer{
+		Item:      it.Item,
+		ObjectKey: ds.Objects[ds.Items[it.Item].Object].Key,
+		Attribute: ds.Attrs[it.Attr].Name,
+		Value:     bk.Rep,
+		Support:   len(bk.Sources),
+		Providers: it.Providers,
+	}
+}

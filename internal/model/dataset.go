@@ -1,7 +1,10 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 
 	"truthdiscovery/internal/value"
@@ -192,4 +195,21 @@ func (d *Dataset) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ToleranceDigest returns a stable FNV-1a digest of the per-attribute
+// tolerance regime (exact float bits, in attribute order). Tolerances
+// are derived from every snapshot of the collection period
+// (ComputeTolerances), so two worlds with identical day-0 claims but
+// different periods digest differently — a fused run's answers depend on
+// the regime, and the serving layer folds this digest into its resume
+// fingerprint alongside Snapshot.Digest.
+func (d *Dataset) ToleranceDigest() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, tol := range d.Tolerances {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(tol))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }

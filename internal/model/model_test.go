@@ -229,3 +229,62 @@ func TestCauseString(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotDigest: the digest identifies claim content — identical
+// claims digest equal regardless of day/label, and any change to a
+// value, source or item set changes it.
+func TestSnapshotDigest(t *testing.T) {
+	claims := func(v float64) []Claim {
+		return []Claim{
+			{Source: 0, Item: 0, Val: value.Num(v), CopiedFrom: NoSource},
+			{Source: 1, Item: 0, Val: value.Num(v + 1), CopiedFrom: NoSource},
+			{Source: 0, Item: 1, Val: value.Str("B22"), CopiedFrom: NoSource},
+		}
+	}
+	a := NewSnapshot(0, "day0", 2, claims(10))
+	b := NewSnapshot(7, "another-label", 2, claims(10))
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical claims digest differently across day/label")
+	}
+	c := NewSnapshot(0, "day0", 2, claims(10.0000001))
+	if a.Digest() == c.Digest() {
+		t.Fatal("a changed value did not change the digest")
+	}
+	d := NewSnapshot(0, "day0", 2, claims(10)[:2])
+	if a.Digest() == d.Digest() {
+		t.Fatal("a dropped claim did not change the digest")
+	}
+}
+
+// TestToleranceDigest: the digest changes with the tolerance regime —
+// the same day-0 claims under a longer collection period must not look
+// resumable to the serving layer.
+func TestToleranceDigest(t *testing.T) {
+	build := func(days int) *Dataset {
+		d := NewDataset("tol")
+		attr := d.AddAttr(Attribute{Name: "price", Kind: value.Number, Considered: true})
+		d.AddSource(Source{Name: "s"})
+		obj := d.AddObject(Object{Key: "o"})
+		item := d.ItemFor(obj, attr)
+		snaps := make([]*Snapshot, days)
+		for day := range snaps {
+			snaps[day] = NewSnapshot(day, "", len(d.Items), []Claim{
+				{Source: 0, Item: item, Val: value.Num(10 * float64(day+1)), CopiedFrom: NoSource},
+			})
+			d.AddSnapshot(snaps[day])
+		}
+		d.ComputeTolerances(value.DefaultAlpha, snaps...)
+		return d
+	}
+	a, b := build(2), build(2)
+	if a.ToleranceDigest() != b.ToleranceDigest() {
+		t.Fatal("identical regimes digest differently")
+	}
+	c := build(4) // same day-0 claim, longer period => different median => different tolerance
+	if a.Tolerance(0) == c.Tolerance(0) {
+		t.Skip("periods produced equal tolerances; scenario needs distinct medians")
+	}
+	if a.ToleranceDigest() == c.ToleranceDigest() {
+		t.Fatal("a changed tolerance regime did not change the digest")
+	}
+}

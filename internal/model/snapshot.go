@@ -1,6 +1,10 @@
 package model
 
 import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 
 	"truthdiscovery/internal/value"
@@ -124,4 +128,34 @@ func (s *Snapshot) Bucketize(d *Dataset) []BucketedItem {
 		})
 	}
 	return out
+}
+
+// Digest returns a stable FNV-1a digest of the snapshot's claim content
+// — items, sources, exact value bits — independent of its day/label.
+// Two snapshots digest equal iff they carry the same claims, which is
+// what lets a serving restart decide whether a persisted run answers
+// for the data it was handed (the run's options fingerprint covers the
+// configuration; this covers the input).
+func (s *Snapshot) Digest() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	u64(uint64(s.numItems))
+	u64(uint64(len(s.Claims)))
+	for i := range s.Claims {
+		c := &s.Claims[i]
+		u64(uint64(uint32(c.Item))<<32 | uint64(uint32(c.Source)))
+		u64(uint64(c.Val.Kind))
+		u64(math.Float64bits(c.Val.Num))
+		u64(math.Float64bits(c.Val.Gran))
+		// Length-prefix the only variable-length field so no two claim
+		// streams can serialize to the same bytes.
+		u64(uint64(len(c.Val.Text)))
+		h.Write([]byte(c.Val.Text))
+		u64(uint64(uint32(c.CopiedFrom)))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"truthdiscovery/internal/fusion"
+)
+
+// Server answers queries from an immutable View held in an atomic
+// pointer. Handlers load the pointer once per request and read only that
+// view, so a concurrent Swap is invisible to in-flight requests and reads
+// never take a lock. A server starts empty (503 from every data endpoint)
+// until the first Swap.
+type Server struct {
+	view     atomic.Pointer[View]
+	requests atomic.Uint64
+	swaps    atomic.Uint64
+	lastSwap atomic.Int64 // unix seconds of the latest swap
+	started  time.Time
+}
+
+// NewServer returns an empty server; Swap publishes the first view.
+func NewServer() *Server {
+	return &Server{started: time.Now()}
+}
+
+// Swap atomically publishes a new view. In-flight requests keep reading
+// the view they loaded; new requests see the new one.
+func (s *Server) Swap(v *View) {
+	s.view.Store(v)
+	s.swaps.Add(1)
+	s.lastSwap.Store(time.Now().Unix())
+}
+
+// View returns the currently served view (nil before the first Swap).
+func (s *Server) View() *View { return s.view.Load() }
+
+// answerJSON is the wire form of one fused answer. Kind-specific payload
+// fields (num/gran for Number and Time, text for Text) carry the exact
+// value — encoding/json renders float64 with the shortest representation
+// that parses back to the identical bits — while "value" is the human
+// rendering.
+type answerJSON struct {
+	Object    string  `json:"object"`
+	Attribute string  `json:"attribute"`
+	Value     string  `json:"value"`
+	Kind      string  `json:"kind"`
+	Num       float64 `json:"num"`
+	Gran      float64 `json:"gran"`
+	Text      string  `json:"text,omitempty"`
+	Support   int     `json:"support"`
+	Providers int     `json:"providers"`
+}
+
+func answerToJSON(a *fusion.Answer) answerJSON {
+	return answerJSON{
+		Object:    a.ObjectKey,
+		Attribute: a.Attribute,
+		Value:     a.Value.String(),
+		Kind:      a.Value.Kind.String(),
+		Num:       a.Value.Num,
+		Gran:      a.Value.Gran,
+		Text:      a.Value.Text,
+		Support:   a.Support,
+		Providers: a.Providers,
+	}
+}
+
+// Handler returns the query API:
+//
+//	GET /healthz            liveness + current version
+//	GET /methods            the method roster and the serving method
+//	GET /answers            every fused answer
+//	GET /answers/{object}   one object's answers (404 when unknown)
+//	GET /trust              the per-source trust vector
+//	GET /stats              serving counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /methods", s.handleMethods)
+	mux.HandleFunc("GET /answers", s.handleAnswers)
+	mux.HandleFunc("GET /answers/{object}", s.handleObject)
+	mux.HandleFunc("GET /trust", s.handleTrust)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	// Encode before writing the status line: a payload JSON cannot carry
+	// (a NaN/Inf value fused from a hostile claims file) must surface as
+	// a 500, not a 200 with a torn body.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(body); err != nil {
+		http.Error(w, `{"error":"response not representable as JSON"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// loadView resolves the served view, answering 503 while none is
+// published yet.
+func (s *Server) loadView(w http.ResponseWriter) (*View, bool) {
+	v := s.view.Load()
+	if v == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error": "no fused run is being served yet",
+		})
+		return nil, false
+	}
+	return v, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	v := s.view.Load()
+	if v == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "version": v.Version})
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, 16)
+	for _, m := range fusion.Methods() {
+		names = append(names, m.Name())
+	}
+	serving := ""
+	if v := s.view.Load(); v != nil {
+		serving = v.Method
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"methods": names, "serving": serving})
+}
+
+// answersHeader is the envelope shared by /answers and /answers/{object}.
+type answersHeader struct {
+	Version uint64       `json:"version"`
+	Method  string       `json:"method"`
+	Day     int          `json:"day"`
+	Label   string       `json:"label"`
+	Count   int          `json:"count"`
+	Answers []answerJSON `json:"answers"`
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, _ *http.Request) {
+	v, ok := s.loadView(w)
+	if !ok {
+		return
+	}
+	out := answersHeader{
+		Version: v.Version, Method: v.Method, Day: v.Day, Label: v.Label,
+		Count: len(v.Answers), Answers: make([]answerJSON, len(v.Answers)),
+	}
+	for i := range v.Answers {
+		out.Answers[i] = answerToJSON(&v.Answers[i])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.loadView(w)
+	if !ok {
+		return
+	}
+	key := r.PathValue("object")
+	idx := v.ObjectAnswers(key)
+	if idx == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown object " + key})
+		return
+	}
+	out := answersHeader{
+		Version: v.Version, Method: v.Method, Day: v.Day, Label: v.Label,
+		Count: len(idx), Answers: make([]answerJSON, len(idx)),
+	}
+	for i, ai := range idx {
+		out.Answers[i] = answerToJSON(&v.Answers[ai])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// trustJSON is one source's trust entry.
+type trustJSON struct {
+	ID    int     `json:"id"`
+	Name  string  `json:"name"`
+	Trust float64 `json:"trust"`
+}
+
+func (s *Server) handleTrust(w http.ResponseWriter, _ *http.Request) {
+	v, ok := s.loadView(w)
+	if !ok {
+		return
+	}
+	out := map[string]any{
+		"version": v.Version,
+		"method":  v.Method,
+	}
+	if v.Trust == nil {
+		// Trust-free methods (VOTE) have no vector; say so explicitly.
+		out["sources"] = []trustJSON(nil)
+	} else {
+		sources := make([]trustJSON, len(v.Trust))
+		for i := range v.Trust {
+			sources[i] = trustJSON{ID: int(v.SourceIDs[i]), Name: v.SourceNames[i], Trust: v.Trust[i]}
+		}
+		out["sources"] = sources
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{
+		"requests":       s.requests.Load(),
+		"swaps":          s.swaps.Load(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	}
+	if last := s.lastSwap.Load(); last != 0 {
+		out["last_swap_unix"] = last
+	}
+	if v := s.view.Load(); v != nil {
+		out["version"] = v.Version
+		out["method"] = v.Method
+		out["fingerprint"] = v.Fingerprint
+		out["day"] = v.Day
+		out["label"] = v.Label
+		out["items"] = len(v.Answers)
+		out["sources"] = len(v.SourceIDs)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,177 @@
+// Package serve exposes persisted fusion results over HTTP: the paper's
+// fused answer table ("what is this stock's price right now?") behind the
+// query API the daily pipeline feeds. The server holds one immutable View
+// in an atomic pointer — reads never lock — and a Refresher advances the
+// underlying incremental engine over the day's delta, persists the new
+// version to an internal/store, and swaps the pointer.
+package serve
+
+import (
+	"fmt"
+
+	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/store"
+)
+
+// View is one immutable, fully indexed serving snapshot: a persisted run
+// plus the per-object lookup index. Views are never mutated after
+// NewView; the server swaps whole pointers.
+type View struct {
+	Version     uint64
+	Method      string
+	Fingerprint string
+	Day         int
+	Label       string
+	CreatedUnix int64
+
+	SourceIDs   []model.SourceID
+	SourceNames []string
+	Trust       []float64
+	AttrTrust   [][]float64
+	Answers     []fusion.Answer
+	Posteriors  [][]float64
+
+	// byObject maps an object key to the indices of its answers (one per
+	// attribute), in answer order.
+	byObject map[string][]int32
+}
+
+// NewView indexes a view; every slice is retained, not copied, and must
+// not be mutated afterwards.
+func NewView(v View) *View {
+	v.byObject = make(map[string][]int32, len(v.Answers))
+	for i := range v.Answers {
+		key := v.Answers[i].ObjectKey
+		v.byObject[key] = append(v.byObject[key], int32(i))
+	}
+	return &v
+}
+
+// FromRun wraps a persisted run as a serving view.
+func FromRun(run *store.Run) *View {
+	return NewView(View{
+		Version:     run.Version,
+		Method:      run.Method,
+		Fingerprint: run.Fingerprint,
+		Day:         run.Day,
+		Label:       run.Label,
+		CreatedUnix: run.CreatedUnix,
+		SourceIDs:   run.SourceIDs,
+		SourceNames: run.SourceNames,
+		Trust:       run.Trust,
+		AttrTrust:   run.AttrTrust,
+		Answers:     run.Answers,
+		Posteriors:  run.Posteriors,
+	})
+}
+
+// Run renders the view as a persistable run (the inverse of FromRun).
+func (v *View) Run(createdUnix int64) *store.Run {
+	return &store.Run{
+		Version:     v.Version,
+		Method:      v.Method,
+		Fingerprint: v.Fingerprint,
+		Day:         v.Day,
+		Label:       v.Label,
+		CreatedUnix: createdUnix,
+		SourceIDs:   v.SourceIDs,
+		SourceNames: v.SourceNames,
+		Trust:       v.Trust,
+		AttrTrust:   v.AttrTrust,
+		Answers:     v.Answers,
+		Posteriors:  v.Posteriors,
+	}
+}
+
+// ObjectAnswers returns the indices of an object's answers (nil when the
+// object is unknown). The returned slice is shared and read-only.
+func (v *View) ObjectAnswers(key string) []int32 { return v.byObject[key] }
+
+// sourceNamesFor resolves a roster's display names from the dataset.
+func sourceNamesFor(ds *model.Dataset, roster []model.SourceID) []string {
+	names := make([]string, len(roster))
+	for i, id := range roster {
+		names[i] = ds.Sources[id].Name
+	}
+	return names
+}
+
+// Engine is the fusion backend a Refresher advances across the delta
+// stream: the flat incremental engine or the sharded one. Both are exact
+// (bit-identical to a full Fuse of each day's snapshot).
+type Engine interface {
+	// Method returns the fusion method name the engine runs.
+	Method() string
+	// Roster returns the fused source roster in dense problem order.
+	Roster() []model.SourceID
+	// Current renders the engine's present answers and result.
+	Current(ds *model.Dataset) ([]fusion.Answer, *fusion.Result)
+	// Advance moves the engine across one delta.
+	Advance(ds *model.Dataset, dl *model.Delta, opts fusion.Options) (fusion.IncrementalStats, error)
+}
+
+// FlatEngine serves the flat stateful engine (fusion.State).
+type FlatEngine struct{ st *fusion.State }
+
+// NewFlatEngine fuses the snapshot once and wraps the reusable state.
+func NewFlatEngine(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID,
+	method string, opts fusion.Options) (*FlatEngine, error) {
+	m, ok := fusion.ByName(method)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown fusion method %q", method)
+	}
+	return &FlatEngine{st: fusion.NewState(ds, snap, sources, m, opts)}, nil
+}
+
+func (e *FlatEngine) Method() string           { return e.st.Method().Name() }
+func (e *FlatEngine) Roster() []model.SourceID { return e.st.Problem.SourceIDs }
+func (e *FlatEngine) Current(ds *model.Dataset) ([]fusion.Answer, *fusion.Result) {
+	return fusion.AnswersFor(ds, e.st.Problem, e.st.Result), e.st.Result
+}
+
+func (e *FlatEngine) Advance(ds *model.Dataset, dl *model.Delta, opts fusion.Options) (fusion.IncrementalStats, error) {
+	next, stats, err := e.st.Advance(ds, dl, opts, fusion.IncrementalOptions{})
+	if err != nil {
+		return stats, err
+	}
+	e.st = next
+	return stats, nil
+}
+
+// ShardedEngine serves the sharded stateful engine (fusion.ShardedState).
+type ShardedEngine struct{ st *fusion.ShardedState }
+
+// NewShardedEngine fuses the snapshot over the shard set and wraps the
+// reusable state.
+func NewShardedEngine(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID,
+	method string, shards, maxResident int, opts fusion.Options) (*ShardedEngine, error) {
+	m, ok := fusion.ByName(method)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown fusion method %q", method)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	spec := model.RangeShards(shards, snap.NumItems())
+	st, err := fusion.NewShardedState(ds, snap, sources, spec, m, opts, maxResident)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{st: st}, nil
+}
+
+func (e *ShardedEngine) Method() string           { return e.st.Method().Name() }
+func (e *ShardedEngine) Roster() []model.SourceID { return e.st.Sharded.SourceIDs }
+func (e *ShardedEngine) Current(ds *model.Dataset) ([]fusion.Answer, *fusion.Result) {
+	return fusion.AnswersForSharded(ds, e.st.Sharded, e.st.Result), e.st.Result
+}
+
+func (e *ShardedEngine) Advance(ds *model.Dataset, dl *model.Delta, opts fusion.Options) (fusion.IncrementalStats, error) {
+	next, stats, err := e.st.Advance(ds, dl, opts, fusion.IncrementalOptions{})
+	if err != nil {
+		return stats, err
+	}
+	e.st = next
+	return stats, nil
+}

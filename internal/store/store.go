@@ -1,0 +1,506 @@
+// Package store persists fused runs — answers, trust vectors, posteriors
+// and the method/options fingerprint — as versioned, atomically written
+// files, and loads them back bit-identically.
+//
+// The paper's end product is a continuously queried answer table rebuilt
+// by a daily fusion pipeline; this package is the boundary between the
+// pipeline and the serving layer (internal/serve): the pipeline Saves a
+// Run per day, the server loads the current Run at startup and swaps to
+// each new version as it lands.
+//
+// Layout: a store is one directory holding run files named
+// run-<version>.tdr (version is a monotonically increasing uint64,
+// assigned by Save) plus a CURRENT file naming the latest run file. Both
+// are written to a temporary file in the same directory, synced and
+// renamed into place, so a reader never observes a partial file and a
+// crashed writer leaves at most a stray .tmp. Every run file carries a
+// format version and a CRC-32C of its contents; Load rejects truncated or
+// corrupted files instead of serving garbage.
+//
+// All floating-point payloads (trust, posteriors, numeric values) are
+// stored as raw IEEE-754 bits, so a loaded run compares bit-identical to
+// the fusion output that produced it — the property the serving
+// equivalence tests assert end to end.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// Run is one persisted fusion run: everything the serving layer needs to
+// answer queries without re-fusing — or re-reading — the raw claims.
+type Run struct {
+	// Version is the store-assigned monotonic version (0 until Saved).
+	Version uint64
+	// Method is the fusion method name; Fingerprint the method/options
+	// digest (truthdiscovery.FuseOptions.Fingerprint) identifying the
+	// configuration that produced the answers.
+	Method      string
+	Fingerprint string
+	// Day and Label identify the snapshot the run fused.
+	Day   int
+	Label string
+	// CreatedUnix is the Save wall-clock time (Unix seconds).
+	CreatedUnix int64
+
+	// SourceIDs is the fused roster in problem (dense) order and
+	// SourceNames the matching display names; Trust and AttrTrust are
+	// indexed by the same dense order. Trust is nil for trust-free
+	// methods (VOTE).
+	SourceIDs   []model.SourceID
+	SourceNames []string
+	Trust       []float64
+	AttrTrust   [][]float64
+
+	// Answers is one fused answer per claimed item, in item order.
+	Answers []fusion.Answer
+	// Posteriors holds the per-item per-bucket value probabilities for
+	// methods that compute them (nil rows allowed).
+	Posteriors [][]float64
+}
+
+// Store is a directory of versioned runs.
+type Store struct {
+	dir string
+}
+
+const (
+	magic         = "TDSR"
+	formatVersion = 1
+	currentName   = "CURRENT"
+	runPrefix     = "run-"
+	runSuffix     = ".tdr"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// runFile returns the file name of a version.
+func runFile(version uint64) string {
+	return fmt.Sprintf("%s%016x%s", runPrefix, version, runSuffix)
+}
+
+// Versions returns the stored run versions in ascending order.
+func (s *Store) Versions() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var versions []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, runPrefix) || !strings.HasSuffix(name, runSuffix) {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, runPrefix), runSuffix), 16, 64)
+		if err != nil {
+			continue // not a run file
+		}
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(a, b int) bool { return versions[a] < versions[b] })
+	return versions, nil
+}
+
+// Save persists the run as the next version and atomically points CURRENT
+// at it. The run's Version field is stamped with the assigned version,
+// which is also returned.
+func (s *Store) Save(run *Run) (uint64, error) {
+	versions, err := s.Versions()
+	if err != nil {
+		return 0, err
+	}
+	next := uint64(1)
+	if n := len(versions); n > 0 {
+		next = versions[n-1] + 1
+	}
+	run.Version = next
+
+	if err := s.writeAtomic(runFile(next), encode(run)); err != nil {
+		return 0, err
+	}
+	if err := s.writeAtomic(currentName, []byte(runFile(next)+"\n")); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// writeAtomic writes data to name via a same-directory temp file, fsync
+// and rename, so concurrent readers see either the old file or the new.
+func (s *Store) writeAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "."+name+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// The rename itself must survive a crash too: without a directory
+	// fsync the new entry (or the run file CURRENT names) can be lost
+	// while later writes persist.
+	dir, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", s.dir, err)
+	}
+	return nil
+}
+
+// Current returns the version CURRENT points at; ok is false for an empty
+// store.
+func (s *Store) Current() (version uint64, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, currentName))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("store: %w", err)
+	}
+	name := strings.TrimSpace(string(data))
+	if !strings.HasPrefix(name, runPrefix) || !strings.HasSuffix(name, runSuffix) {
+		return 0, false, fmt.Errorf("store: CURRENT names %q, not a run file", name)
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, runPrefix), runSuffix), 16, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("store: CURRENT names %q: %w", name, err)
+	}
+	return v, true, nil
+}
+
+// Load reads one version back, verifying format and checksum.
+func (s *Store) Load(version uint64) (*Run, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, runFile(version)))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	run, err := decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", runFile(version), err)
+	}
+	if run.Version != version {
+		return nil, fmt.Errorf("store: %s carries version %d", runFile(version), run.Version)
+	}
+	return run, nil
+}
+
+// LoadCurrent loads the version CURRENT points at; a nil Run (and nil
+// error) means the store is empty.
+func (s *Store) LoadCurrent() (*Run, error) {
+	v, ok, err := s.Current()
+	if err != nil || !ok {
+		return nil, err
+	}
+	return s.Load(v)
+}
+
+// Prune removes all but the newest keep runs (CURRENT is never removed).
+// keep < 1 is treated as 1.
+func (s *Store) Prune(keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	versions, err := s.Versions()
+	if err != nil {
+		return err
+	}
+	cur, hasCur, err := s.Current()
+	if err != nil {
+		return err
+	}
+	if len(versions) <= keep {
+		return nil
+	}
+	for _, v := range versions[:len(versions)-keep] {
+		if hasCur && v == cur {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, runFile(v))); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// --- binary encoding -------------------------------------------------
+
+// enc accumulates the little-endian body of a run file.
+type enc struct{ buf []byte }
+
+func (e *enc) u8(v uint8)    { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// floats encodes a float slice with a nil/non-nil marker, preserving the
+// nil-vs-empty distinction (Trust is nil for VOTE).
+func (e *enc) floats(xs []float64) {
+	if xs == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.u32(uint32(len(xs)))
+	for _, x := range xs {
+		e.f64(x)
+	}
+}
+
+func (e *enc) floatRows(rows [][]float64) {
+	if rows == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.u32(uint32(len(rows)))
+	for _, r := range rows {
+		e.floats(r)
+	}
+}
+
+// encode renders the full run file: magic, format, body, CRC-32C.
+func encode(run *Run) []byte {
+	e := &enc{buf: make([]byte, 0, 64+len(run.Answers)*48)}
+	e.buf = append(e.buf, magic...)
+	e.u32(formatVersion)
+	e.u64(run.Version)
+	e.str(run.Method)
+	e.str(run.Fingerprint)
+	e.i64(int64(run.Day))
+	e.str(run.Label)
+	e.i64(run.CreatedUnix)
+
+	e.u32(uint32(len(run.SourceIDs)))
+	for i, id := range run.SourceIDs {
+		e.u32(uint32(id))
+		e.str(run.SourceNames[i])
+	}
+	e.floats(run.Trust)
+	e.floatRows(run.AttrTrust)
+
+	e.u32(uint32(len(run.Answers)))
+	for i := range run.Answers {
+		a := &run.Answers[i]
+		e.u32(uint32(a.Item))
+		e.str(a.ObjectKey)
+		e.str(a.Attribute)
+		e.u8(uint8(a.Value.Kind))
+		e.f64(a.Value.Num)
+		e.str(a.Value.Text)
+		e.f64(a.Value.Gran)
+		e.u32(uint32(a.Support))
+		e.u32(uint32(a.Providers))
+	}
+	e.floatRows(run.Posteriors)
+
+	e.u32(crc32.Checksum(e.buf, castagnoli))
+	return e.buf
+}
+
+// dec is the cursor decode reads the body through; errors latch.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("truncated at offset %d (want %d bytes)", d.off, n)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err == nil && n > len(d.buf)-d.off {
+		d.fail("string length %d exceeds remaining %d bytes", n, len(d.buf)-d.off)
+		return ""
+	}
+	return string(d.take(n))
+}
+
+func (d *dec) floats() []float64 {
+	if d.u8() == 0 {
+		return nil
+	}
+	n := int(d.u32())
+	if d.err == nil && n > (len(d.buf)-d.off)/8 {
+		d.fail("float count %d exceeds remaining bytes", n)
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.f64()
+	}
+	return xs
+}
+
+func (d *dec) floatRows() [][]float64 {
+	if d.u8() == 0 {
+		return nil
+	}
+	n := int(d.u32())
+	if d.err == nil && n > len(d.buf)-d.off {
+		d.fail("row count %d exceeds remaining bytes", n)
+		return nil
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = d.floats()
+	}
+	return rows
+}
+
+// decode parses and verifies one run file.
+func decode(data []byte) (*Run, error) {
+	if len(data) < len(magic)+8 {
+		return nil, fmt.Errorf("file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("bad magic %q", data[:len(magic)])
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != sum {
+		return nil, fmt.Errorf("checksum mismatch (file %08x, computed %08x)", sum, got)
+	}
+
+	d := &dec{buf: body, off: len(magic)}
+	if fv := d.u32(); fv != formatVersion {
+		return nil, fmt.Errorf("unsupported format version %d", fv)
+	}
+	run := &Run{
+		Version:     d.u64(),
+		Method:      d.str(),
+		Fingerprint: d.str(),
+		Day:         int(d.i64()),
+		Label:       d.str(),
+		CreatedUnix: d.i64(),
+	}
+
+	nSrc := int(d.u32())
+	if d.err == nil && nSrc > len(d.buf)-d.off {
+		d.fail("source count %d exceeds remaining bytes", nSrc)
+	}
+	if d.err == nil {
+		run.SourceIDs = make([]model.SourceID, nSrc)
+		run.SourceNames = make([]string, nSrc)
+		for i := 0; i < nSrc && d.err == nil; i++ {
+			run.SourceIDs[i] = model.SourceID(d.u32())
+			run.SourceNames[i] = d.str()
+		}
+	}
+	run.Trust = d.floats()
+	run.AttrTrust = d.floatRows()
+
+	nAns := int(d.u32())
+	if d.err == nil && nAns > len(d.buf)-d.off {
+		d.fail("answer count %d exceeds remaining bytes", nAns)
+	}
+	if d.err == nil {
+		run.Answers = make([]fusion.Answer, nAns)
+		for i := 0; i < nAns && d.err == nil; i++ {
+			a := &run.Answers[i]
+			a.Item = model.ItemID(d.u32())
+			a.ObjectKey = d.str()
+			a.Attribute = d.str()
+			a.Value = value.Value{
+				Kind: value.Kind(d.u8()),
+				Num:  d.f64(),
+				Text: d.str(),
+				Gran: d.f64(),
+			}
+			a.Support = int(d.u32())
+			a.Providers = int(d.u32())
+		}
+	}
+	run.Posteriors = d.floatRows()
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%d trailing bytes", len(d.buf)-d.off)
+	}
+	return run, nil
+}

@@ -1,0 +1,294 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"truthdiscovery/internal/fusion"
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// randomRun builds a run with adversarial payloads: negative zero, NaN,
+// denormals, empty-vs-nil slices, multi-byte strings.
+func randomRun(rng *rand.Rand) *Run {
+	weird := []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, -math.MaxFloat64, 0.1, 1e300}
+	f := func() float64 { return weird[rng.Intn(len(weird))] }
+
+	nSrc := rng.Intn(6)
+	run := &Run{
+		Method:      "AccuPr",
+		Fingerprint: "deadbeef01234567",
+		Day:         rng.Intn(100) - 3,
+		Label:       "day-λ/" + strings.Repeat("x", rng.Intn(5)),
+		CreatedUnix: rng.Int63(),
+	}
+	run.SourceIDs = make([]model.SourceID, nSrc)
+	run.SourceNames = make([]string, nSrc)
+	for i := range run.SourceIDs {
+		run.SourceIDs[i] = model.SourceID(rng.Intn(1000))
+		run.SourceNames[i] = strings.Repeat("sᛗ", i)
+	}
+	if rng.Intn(3) > 0 {
+		run.Trust = make([]float64, nSrc)
+		for i := range run.Trust {
+			run.Trust[i] = f()
+		}
+	}
+	if rng.Intn(3) == 0 {
+		run.AttrTrust = make([][]float64, nSrc)
+		for i := range run.AttrTrust {
+			if rng.Intn(4) == 0 {
+				continue // nil row
+			}
+			run.AttrTrust[i] = []float64{f(), f()}
+		}
+	}
+	nAns := rng.Intn(20)
+	run.Answers = make([]fusion.Answer, nAns)
+	kinds := []value.Kind{value.Number, value.Time, value.Text}
+	for i := range run.Answers {
+		k := kinds[rng.Intn(len(kinds))]
+		v := value.Value{Kind: k}
+		if k == value.Text {
+			v.Text = "B" + strings.Repeat("2", rng.Intn(4))
+		} else {
+			v.Num = f()
+			v.Gran = []float64{0, 1, 1e5}[rng.Intn(3)]
+		}
+		run.Answers[i] = fusion.Answer{
+			Item:      model.ItemID(i),
+			ObjectKey: "obj" + strings.Repeat("й", rng.Intn(3)),
+			Attribute: "price",
+			Value:     v,
+			Support:   rng.Intn(50),
+			Providers: rng.Intn(60),
+		}
+	}
+	if rng.Intn(2) == 0 {
+		run.Posteriors = make([][]float64, nAns)
+		for i := range run.Posteriors {
+			row := make([]float64, rng.Intn(4))
+			for j := range row {
+				row[j] = f()
+			}
+			if len(row) > 0 || rng.Intn(2) == 0 {
+				run.Posteriors[i] = row
+			}
+		}
+	}
+	return run
+}
+
+// sameFloats compares float slices by their IEEE bits — NaNs and signed
+// zeros must survive exactly, which rules out ==.
+func sameFloats(t *testing.T, ctx string, want, got []float64) {
+	t.Helper()
+	if (want == nil) != (got == nil) || len(want) != len(got) {
+		t.Fatalf("%s: %v vs %v", ctx, want, got)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s[%d]: bits %x vs %x", ctx, i, math.Float64bits(want[i]), math.Float64bits(got[i]))
+		}
+	}
+}
+
+func sameFloatRows(t *testing.T, ctx string, want, got [][]float64) {
+	t.Helper()
+	if (want == nil) != (got == nil) || len(want) != len(got) {
+		t.Fatalf("%s: %d rows vs %d (nil %v vs %v)", ctx, len(want), len(got), want == nil, got == nil)
+	}
+	for i := range want {
+		sameFloats(t, fmt.Sprintf("%s[%d]", ctx, i), want[i], got[i])
+	}
+}
+
+// sameRun compares two runs bit-for-bit: every float by its IEEE bits,
+// everything else structurally.
+func sameRun(t *testing.T, want, got *Run) {
+	t.Helper()
+	if want.Version != got.Version || want.Method != got.Method ||
+		want.Fingerprint != got.Fingerprint || want.Day != got.Day ||
+		want.Label != got.Label || want.CreatedUnix != got.CreatedUnix {
+		t.Fatalf("header differs:\nwant %+v\ngot  %+v", want, got)
+	}
+	if !reflect.DeepEqual(want.SourceIDs, got.SourceIDs) || !reflect.DeepEqual(want.SourceNames, got.SourceNames) {
+		t.Fatalf("roster differs:\nwant %v %v\ngot  %v %v", want.SourceIDs, want.SourceNames, got.SourceIDs, got.SourceNames)
+	}
+	sameFloats(t, "trust", want.Trust, got.Trust)
+	sameFloatRows(t, "attrTrust", want.AttrTrust, got.AttrTrust)
+	if len(want.Answers) != len(got.Answers) {
+		t.Fatalf("answer count %d vs %d", len(want.Answers), len(got.Answers))
+	}
+	for i := range want.Answers {
+		w, g := &want.Answers[i], &got.Answers[i]
+		if w.Item != g.Item || w.ObjectKey != g.ObjectKey || w.Attribute != g.Attribute ||
+			w.Support != g.Support || w.Providers != g.Providers ||
+			w.Value.Kind != g.Value.Kind || w.Value.Text != g.Value.Text ||
+			math.Float64bits(w.Value.Num) != math.Float64bits(g.Value.Num) ||
+			math.Float64bits(w.Value.Gran) != math.Float64bits(g.Value.Gran) {
+			t.Fatalf("answer %d differs: %+v vs %+v", i, *w, *g)
+		}
+	}
+	sameFloatRows(t, "posteriors", want.Posteriors, got.Posteriors)
+}
+
+// TestRoundTripProperty: encode → decode is the identity for randomized
+// runs, including NaN/Inf/-0 payloads whose bits must survive.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		run := randomRun(rng)
+		run.Version = uint64(i)
+		got, err := decode(encode(run))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		sameRun(t, run, got)
+	}
+}
+
+// TestNegativeZeroBits: DeepEqual treats -0 == 0, so assert the sign bit
+// explicitly — "bit-identical" must mean the bits.
+func TestNegativeZeroBits(t *testing.T) {
+	run := &Run{Method: "Vote", Trust: []float64{math.Copysign(0, -1)}}
+	got, err := decode(encode(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Trust[0]) != math.Float64bits(run.Trust[0]) {
+		t.Fatalf("sign of zero lost: %x vs %x",
+			math.Float64bits(got.Trust[0]), math.Float64bits(run.Trust[0]))
+	}
+}
+
+// TestSaveLoadVersioning: versions are assigned monotonically, CURRENT
+// tracks the latest, and every version loads back identical.
+func TestSaveLoadVersioning(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run, err := s.LoadCurrent(); err != nil || run != nil {
+		t.Fatalf("empty store: run %v err %v", run, err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var saved []*Run
+	for i := 0; i < 5; i++ {
+		run := randomRun(rng)
+		v, err := s.Save(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i+1) || run.Version != v {
+			t.Fatalf("save %d assigned version %d (run says %d)", i, v, run.Version)
+		}
+		saved = append(saved, run)
+	}
+	versions, err := s.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 5 || versions[0] != 1 || versions[4] != 5 {
+		t.Fatalf("versions %v", versions)
+	}
+	cur, err := s.LoadCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, saved[4], cur)
+	for i, want := range saved {
+		got, err := s.Load(uint64(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRun(t, want, got)
+	}
+}
+
+// TestCorruptionRejected: a flipped byte anywhere in the file fails the
+// checksum; truncation fails cleanly too.
+func TestCorruptionRejected(t *testing.T) {
+	run := randomRun(rand.New(rand.NewSource(3)))
+	run.Version = 9
+	data := encode(run)
+	for _, off := range []int{0, 5, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		if _, err := decode(bad); err == nil {
+			t.Fatalf("corruption at offset %d not detected", off)
+		}
+	}
+	for _, n := range []int{0, 3, len(data) / 3, len(data) - 1} {
+		if _, err := decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+// TestSaveIsAtomic: a Save leaves no temp debris and an interrupted write
+// (simulated by a stray .tmp) never shadows a committed run.
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := randomRun(rand.New(rand.NewSource(5)))
+	if _, err := s.Save(run); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp debris after Save: %s", e.Name())
+		}
+	}
+	// A crashed writer's partial temp file must not affect readers.
+	if err := os.WriteFile(filepath.Join(dir, ".run-junk.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, run, got)
+}
+
+// TestPrune keeps the newest runs and never the current one.
+func TestPrune(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 6; i++ {
+		if _, err := s.Save(randomRun(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Prune(2); err != nil {
+		t.Fatal(err)
+	}
+	versions, err := s.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 || versions[0] != 5 || versions[1] != 6 {
+		t.Fatalf("after prune: %v", versions)
+	}
+	if _, err := s.LoadCurrent(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package truthdiscovery
+
+import (
+	"strings"
+	"testing"
+)
+
+// The public fusion surface must not silently ignore options (ISSUE 5):
+// Fuse routes Shards > 1 to the sharded engine, the sharded incremental
+// engine rejects the TrustTolerance it cannot honour, and every entry
+// point validates knob combinations instead of no-opping them.
+
+// optionsWorld builds a small two-day stream with enough disagreement to
+// exercise trust estimation.
+func optionsWorld(t *testing.T) (*Dataset, *Snapshot, []*Delta) {
+	t.Helper()
+	b := NewBuilder("options")
+	price := b.Attribute("price", Number)
+	srcs := make([]SourceID, 6)
+	for i := range srcs {
+		srcs[i] = b.Source(strings.Repeat("s", i+1))
+	}
+	objs := make([]ObjectID, 40)
+	for i := range objs {
+		objs[i] = b.Object("obj" + strings.Repeat("x", i%7) + string(rune('a'+i%26)))
+		for si, s := range srcs {
+			v := "10.50"
+			if si >= 4 && i%3 == 0 {
+				v = "11.25" // minority wrong value
+			}
+			if err := b.Claim(s, objs[i], price, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	b.EndDay("day0")
+	for i := range objs {
+		v := "10.50"
+		if i%5 == 0 {
+			v = "12.75" // repriced
+		}
+		for _, s := range srcs {
+			if err := b.Claim(s, objs[i], price, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	b.EndDay("day1")
+	ds, day0, deltas, err := b.BuildStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, day0, deltas
+}
+
+// TestFuseHonorsShards asserts the footgun fix: Fuse given Shards: 4
+// delegates to the sharded engine, and both entry points return the same
+// answers value for value.
+func TestFuseHonorsShards(t *testing.T) {
+	ds, snap, _ := optionsWorld(t)
+	for _, method := range []string{"Vote", "AccuPr", "TruthFinder"} {
+		opts := FuseOptions{Shards: 4}
+		viaFuse, err := Fuse(ds, snap, method, opts)
+		if err != nil {
+			t.Fatalf("%s: Fuse: %v", method, err)
+		}
+		viaSharded, err := FuseSharded(ds, snap, method, opts)
+		if err != nil {
+			t.Fatalf("%s: FuseSharded: %v", method, err)
+		}
+		flat, err := Fuse(ds, snap, method, FuseOptions{})
+		if err != nil {
+			t.Fatalf("%s: flat Fuse: %v", method, err)
+		}
+		if len(viaFuse) != len(viaSharded) || len(viaFuse) != len(flat) {
+			t.Fatalf("%s: answer counts %d/%d/%d", method, len(viaFuse), len(viaSharded), len(flat))
+		}
+		for i := range viaFuse {
+			if viaFuse[i] != viaSharded[i] {
+				t.Fatalf("%s: answer %d differs between Fuse(Shards:4) and FuseSharded(Shards:4): %+v vs %+v",
+					method, i, viaFuse[i], viaSharded[i])
+			}
+			if viaFuse[i] != flat[i] {
+				t.Fatalf("%s: answer %d differs between sharded and flat: %+v vs %+v",
+					method, i, viaFuse[i], flat[i])
+			}
+		}
+	}
+}
+
+// TestFuseHonorsMaxResidentShards exercises the budget mode through plain
+// Fuse, which used to drop both options on the floor.
+func TestFuseHonorsMaxResidentShards(t *testing.T) {
+	ds, snap, _ := optionsWorld(t)
+	budget, err := Fuse(ds, snap, "AccuPr", FuseOptions{Shards: 4, MaxResidentShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Fuse(ds, snap, "AccuPr", FuseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat {
+		if budget[i] != flat[i] {
+			t.Fatalf("answer %d differs under the memory budget: %+v vs %+v", i, budget[i], flat[i])
+		}
+	}
+}
+
+// TestShardedIncrementalRejectsTolerance asserts the second footgun fix:
+// the sharded incremental engine has no warm path, so asking for one is an
+// error, not a silently exact answer.
+func TestShardedIncrementalRejectsTolerance(t *testing.T) {
+	ds, day0, deltas := optionsWorld(t)
+	_, st, err := FuseShardedStateful(ds, day0, "AccuPr", FuseOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = FuseShardedIncremental(ds, st, deltas[0], "AccuPr",
+		FuseOptions{Shards: 4, TrustTolerance: 0.05})
+	if err == nil {
+		t.Fatal("FuseShardedIncremental accepted a non-zero TrustTolerance")
+	}
+	if !strings.Contains(err.Error(), "TrustTolerance") {
+		t.Fatalf("error does not name the rejected option: %v", err)
+	}
+	// Zero tolerance still works and matches a full fuse of day 1.
+	inc, _, err := FuseShardedIncremental(ds, st, deltas[0], "AccuPr", FuseOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day1, err := day0.Apply(deltas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Fuse(ds, day1, "AccuPr", FuseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if inc[i] != full[i] {
+			t.Fatalf("incremental answer %d differs from full fuse: %+v vs %+v", i, inc[i], full[i])
+		}
+	}
+}
+
+// TestFlatStatefulRejectsShards: the flat stateful engine cannot honour a
+// shard count, so it must say so.
+func TestFlatStatefulRejectsShards(t *testing.T) {
+	ds, day0, deltas := optionsWorld(t)
+	if _, _, err := FuseStateful(ds, day0, "AccuPr", FuseOptions{Shards: 4}); err == nil {
+		t.Fatal("FuseStateful accepted Shards > 1")
+	}
+	_, st, err := FuseStateful(ds, day0, "AccuPr", FuseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FuseIncremental(ds, st, deltas[0], "AccuPr", FuseOptions{Shards: 4}); err == nil {
+		t.Fatal("FuseIncremental accepted Shards > 1")
+	}
+}
+
+// TestFuseOptionsValidate covers the knob combinations that used to be
+// silent no-ops.
+func TestFuseOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts FuseOptions
+		want string // substring of the error; "" = valid
+	}{
+		{"zero", FuseOptions{}, ""},
+		{"sharded", FuseOptions{Shards: 8, MaxResidentShards: 2}, ""},
+		{"negative parallelism", FuseOptions{Parallelism: -1}, "Parallelism"},
+		{"negative shards", FuseOptions{Shards: -2}, "Shards"},
+		{"negative resident", FuseOptions{Shards: 4, MaxResidentShards: -1}, "MaxResidentShards"},
+		{"resident without shards", FuseOptions{MaxResidentShards: 2}, "Shards > 1"},
+		{"negative tolerance", FuseOptions{TrustTolerance: -0.1}, "TrustTolerance"},
+	}
+	ds, snap, _ := optionsWorld(t)
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Fatalf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+		// The entry points surface the same error instead of fusing.
+		if _, ferr := Fuse(ds, snap, "Vote", tc.opts); ferr == nil {
+			t.Fatalf("%s: Fuse accepted invalid options", tc.name)
+		}
+	}
+}
+
+// TestFingerprintStability: the fingerprint is a pure function of the
+// answer-affecting options and ignores execution knobs.
+func TestFingerprintStability(t *testing.T) {
+	base := FuseOptions{Sources: []SourceID{0, 1, 2}}
+	fp := base.Fingerprint("AccuPr")
+	if fp != base.Fingerprint("AccuPr") {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	sameExec := FuseOptions{Sources: []SourceID{0, 1, 2}, Shards: 8, MaxResidentShards: 2, Parallelism: 4}
+	if sameExec.Fingerprint("AccuPr") != fp {
+		t.Fatal("execution knobs changed the fingerprint")
+	}
+	if base.Fingerprint("Vote") == fp {
+		t.Fatal("method does not affect the fingerprint")
+	}
+	diffRoster := FuseOptions{Sources: []SourceID{0, 1}}
+	if diffRoster.Fingerprint("AccuPr") == fp {
+		t.Fatal("source roster does not affect the fingerprint")
+	}
+	diffTol := FuseOptions{Sources: []SourceID{0, 1, 2}, TrustTolerance: 0.1}
+	if diffTol.Fingerprint("AccuPr") == fp {
+		t.Fatal("trust tolerance does not affect the fingerprint")
+	}
+}

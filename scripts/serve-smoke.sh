@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Serving-layer smoke (make serve-smoke): start truthserved on an
+# ephemeral port against a generated claims file, curl every endpoint,
+# and verify one known answer — the served value must equal what
+# cmd/fuse computes from the very same claims. Also asserts the flag
+# validation both commands share: bad combinations exit 2, not no-op.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+$GO build -o "$tmp/truthserved" ./cmd/truthserved
+$GO build -o "$tmp/fuse" ./cmd/fuse
+$GO run ./cmd/datagen -domain stock -stocks 40 -day 0 -seed 7 > "$tmp/claims.csv"
+"$tmp/fuse" -method AccuPr -in "$tmp/claims.csv" > "$tmp/fused.csv"
+
+# Silent-option footguns must exit 2 (usage) in both commands — assert
+# the exact code, so a regression that exits 0 (flags accepted), 1
+# (late failure) or 124 (truthserved starts serving and timeout kills
+# it) all fail the smoke.
+for args in "-max-resident-shards 2" "-shards -3" "-parallel -1"; do
+  code=0
+  timeout 10 "$tmp/fuse" $args -in "$tmp/claims.csv" >/dev/null 2>&1 || code=$?
+  if [ "$code" -ne 2 ]; then
+    echo "serve-smoke: fuse $args exited $code, want usage error 2" >&2; exit 1
+  fi
+  code=0
+  timeout 10 "$tmp/truthserved" $args -in "$tmp/claims.csv" -addr 127.0.0.1:0 >/dev/null 2>&1 || code=$?
+  if [ "$code" -ne 2 ]; then
+    echo "serve-smoke: truthserved $args exited $code, want usage error 2" >&2; exit 1
+  fi
+done
+
+"$tmp/truthserved" -in "$tmp/claims.csv" -method AccuPr \
+  -store "$tmp/store" -addr 127.0.0.1:0 > "$tmp/serve.log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(grep -o 'http://[0-9.:]*' "$tmp/serve.log" | head -1 || true)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "serve-smoke: truthserved did not start" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+curl -fsS "$addr/healthz" | grep -q '"status":"ok"'
+curl -fsS "$addr/methods" | grep -q '"serving":"AccuPr"'
+curl -fsS "$addr/trust" | grep -q '"trust":'
+curl -fsS "$addr/stats" | grep -q '"version":1'
+curl -fsS "$addr/answers" | grep -q '"count":'
+code=$(curl -s -o /dev/null -w '%{http_code}' "$addr/answers/definitely-not-an-object")
+[ "$code" = 404 ] || { echo "serve-smoke: unknown object returned $code, want 404" >&2; exit 1; }
+
+# One known answer: row 2 of cmd/fuse's output (object, attribute,
+# value) must be served verbatim.
+obj=$(awk -F, 'NR==2{print $1}' "$tmp/fused.csv")
+attr=$(awk -F, 'NR==2{print $2}' "$tmp/fused.csv")
+want=$(awk -F, 'NR==2{print $3}' "$tmp/fused.csv")
+got=$(curl -fsS "$addr/answers/$obj" | python3 -c '
+import json, sys
+attr = sys.argv[1]
+for a in json.load(sys.stdin)["answers"]:
+    if a["attribute"] == attr:
+        print(a["value"]); break
+' "$attr")
+if [ "$got" != "$want" ]; then
+  echo "serve-smoke: served $obj/$attr = '$got', cmd/fuse says '$want'" >&2
+  exit 1
+fi
+
+# The run was persisted (atomically) on publish.
+ls "$tmp/store" | grep -q '^run-.*\.tdr$'
+grep -q 'run-' "$tmp/store/CURRENT"
+
+echo "serve-smoke: OK ($obj/$attr = $want served from $addr)"

@@ -59,6 +59,9 @@ func shardSpecFor(snap *Snapshot, opts FuseOptions) model.ShardSpec {
 // bit-identical to Fuse; FuseOptions.MaxResidentShards additionally
 // bounds how many shard arenas are in memory at once.
 func FuseSharded(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	m, ok := fusion.ByName(method)
 	if !ok {
 		return nil, fmt.Errorf("truthdiscovery: unknown fusion method %q", method)
@@ -79,7 +82,7 @@ func FuseSharded(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) (
 	if err != nil {
 		return nil, err
 	}
-	return answersForSharded(ds, sp, res), nil
+	return fusion.AnswersForSharded(ds, sp, res), nil
 }
 
 // FuseShardedStateful is FuseStateful over the shard set: it fuses the
@@ -87,6 +90,9 @@ func FuseSharded(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) (
 // advances over deltas. Sampled-trust runs (FuseOptions.Gold) have no
 // estimation loop to reuse and are not supported, as with FuseStateful.
 func FuseShardedStateful(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answer, *ShardedState, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
 	m, ok := fusion.ByName(method)
 	if !ok {
 		return nil, nil, fmt.Errorf("truthdiscovery: unknown fusion method %q", method)
@@ -103,16 +109,25 @@ func FuseShardedStateful(ds *Dataset, snap *Snapshot, method string, opts FuseOp
 	state := &ShardedState{st: st, Stats: IncrementalStats{
 		Mode: ModeFull, DirtyItems: st.Sharded.NumItems(), TotalItems: st.Sharded.NumItems(),
 	}}
-	return answersForSharded(ds, st.Sharded, st.Result), state, nil
+	return fusion.AnswersForSharded(ds, st.Sharded, st.Result), state, nil
 }
 
 // FuseShardedIncremental advances a sharded state over a delta: the
 // delta splits by item shard, every shard applies its slice and
 // maintains its problem from its own dirty worklist, and the method
 // re-runs with the single cross-shard trust merge. Answers are always
-// bit-identical to Fuse on the delta's target snapshot (the sharded
-// engine has no approximate warm path; TrustTolerance is ignored).
+// bit-identical to Fuse on the delta's target snapshot: the sharded
+// engine has no approximate warm path, so a non-zero
+// FuseOptions.TrustTolerance is rejected rather than silently ignored —
+// a caller asking for the approximation must not believe it got one.
+// Use the flat FuseIncremental for the warm path.
 func FuseShardedIncremental(ds *Dataset, prev *ShardedState, delta *Delta, method string, opts FuseOptions) ([]Answer, *ShardedState, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.TrustTolerance != 0 {
+		return nil, nil, fmt.Errorf("truthdiscovery: the sharded engine has no TrustTolerance warm path (answers are always exact); use FuseIncremental for the approximate dirty-only iteration")
+	}
 	if prev == nil || prev.st == nil {
 		return nil, nil, fmt.Errorf("truthdiscovery: FuseShardedIncremental needs a state from FuseShardedStateful")
 	}
@@ -133,24 +148,5 @@ func FuseShardedIncremental(ds *Dataset, prev *ShardedState, delta *Delta, metho
 		return nil, nil, err
 	}
 	state := &ShardedState{st: st, Stats: stats}
-	return answersForSharded(ds, st.Sharded, st.Result), state, nil
-}
-
-// answersForSharded renders a sharded fusion result as one Answer per
-// claimed item, in global item order — the same shape answersFor
-// produces from a flat problem.
-func answersForSharded(ds *Dataset, sp *fusion.ShardedProblem, res *fusion.Result) []Answer {
-	answers := make([]Answer, sp.NumItems())
-	sp.ForEachItem(func(g int, it *fusion.ProblemItem) {
-		bk := it.Buckets[res.Chosen[g]]
-		answers[g] = Answer{
-			Item:      it.Item,
-			ObjectKey: ds.Objects[ds.Items[it.Item].Object].Key,
-			Attribute: ds.Attrs[it.Attr].Name,
-			Value:     bk.Rep,
-			Support:   len(bk.Sources),
-			Providers: it.Providers,
-		}
-	})
-	return answers
+	return fusion.AnswersForSharded(ds, st.Sharded, st.Result), state, nil
 }

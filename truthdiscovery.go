@@ -171,17 +171,10 @@ func (b *Builder) Build() (*Dataset, *Snapshot, error) {
 	return b.ds, snap, nil
 }
 
-// Answer is one fused data item: the winning value and its support.
-type Answer struct {
-	Item      ItemID
-	ObjectKey string
-	Attribute string
-	Value     Value
-	// Support is the number of sources providing the winning value;
-	// Providers the number providing the item.
-	Support   int
-	Providers int
-}
+// Answer is one fused data item: the winning value and its support. It is
+// an alias of the internal rendering type so the serving layer
+// (internal/store, internal/serve) shares it without conversion.
+type Answer = fusion.Answer
 
 // FuseOptions configures Fuse.
 type FuseOptions struct {
@@ -202,11 +195,13 @@ type FuseOptions struct {
 	// phase only for changed items while no source trust drifts more than
 	// this from the previous state, falling back to full re-fusion past
 	// it. 0 (the default) keeps incremental answers bit-identical to Fuse.
+	// The sharded incremental engine has no warm path and rejects a
+	// non-zero tolerance rather than silently returning exact answers.
 	TrustTolerance float64
-	// Shards (FuseSharded and FuseShardedStateful) partitions the items
-	// into this many range shards, each fused as its own problem with one
-	// deterministic cross-shard trust merge. 0 or 1 means one shard.
-	// Answers are bit-identical to Fuse at any setting.
+	// Shards partitions the items into this many range shards, each fused
+	// as its own problem with one deterministic cross-shard trust merge.
+	// 0 or 1 means one shard. Answers are bit-identical to Fuse at any
+	// setting; Fuse itself delegates to the sharded engine when Shards > 1.
 	Shards int
 	// MaxResidentShards (with Shards > 1) bounds how many shard arenas
 	// stay in memory at once: shards beyond the bound are rebuilt on
@@ -217,7 +212,18 @@ type FuseOptions struct {
 
 // Fuse resolves conflicts in a snapshot with the named method and returns
 // one answer per claimed item, in item order.
+//
+// With FuseOptions.Shards > 1 the call delegates to the sharded engine
+// (FuseSharded): answers are bit-identical, so the shard count is purely an
+// execution choice — shard-level concurrency, or a bounded memory ceiling
+// via MaxResidentShards — and never changes the result.
 func Fuse(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Shards > 1 {
+		return FuseSharded(ds, snap, method, opts)
+	}
 	m, ok := fusion.ByName(method)
 	if !ok {
 		return nil, fmt.Errorf("truthdiscovery: unknown fusion method %q", method)
@@ -231,25 +237,7 @@ func Fuse(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answe
 		fo.InputAttrTrust = fusion.SampleAttrAccuracy(ds, snap, p, opts.Gold)
 	}
 	res := m.Run(p, fo)
-	return answersFor(ds, p, res), nil
-}
-
-// answersFor renders a fusion result as one Answer per claimed item.
-func answersFor(ds *Dataset, p *fusion.Problem, res *fusion.Result) []Answer {
-	answers := make([]Answer, len(p.Items))
-	for i := range p.Items {
-		it := &p.Items[i]
-		bk := it.Buckets[res.Chosen[i]]
-		answers[i] = Answer{
-			Item:      it.Item,
-			ObjectKey: ds.Objects[ds.Items[it.Item].Object].Key,
-			Attribute: ds.Attrs[it.Attr].Name,
-			Value:     bk.Rep,
-			Support:   len(bk.Sources),
-			Providers: it.Providers,
-		}
-	}
-	return answers
+	return fusion.AnswersFor(ds, p, res), nil
 }
 
 // EvaluateAgainst scores fused answers against a gold standard, returning
