@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench benchpairs benchgate bench-profile examples serve-smoke lint fmt ci
+.PHONY: build test race bench benchpairs benchgate bench-profile examples serve-smoke load-smoke lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,13 @@ bench-profile:
 serve-smoke:
 	GO=$(GO) ./scripts/serve-smoke.sh
 
+# Load-harness smoke: truthload drives a short read/write mix against a
+# live truthserved and its bench line round-trips through benchdiff
+# (see scripts/load-smoke.sh). The gated serving-latency numbers come
+# from the BenchmarkServeLoad* pairs in benchpairs, not from this smoke.
+load-smoke:
+	GO=$(GO) ./scripts/load-smoke.sh
+
 # Smoke-run every example program (tier-1 only builds them).
 examples:
 	@set -e; for d in examples/*/; do \
@@ -71,4 +78,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench examples serve-smoke
+ci: lint build race bench examples serve-smoke load-smoke

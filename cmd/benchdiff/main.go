@@ -53,11 +53,19 @@ type Record struct {
 	// independent, so the gate compares them raw: a zero-alloc loop may
 	// not regress at all, everything else by at most the threshold.
 	Allocs map[string]float64 `json:"allocs,omitempty"`
+	// Metrics maps the benchmark name to its custom metrics (unit →
+	// value): everything b.ReportMetric or truthload emits beyond
+	// ns/op, B/op and allocs/op — latency percentiles (p50-ns, p99-ns,
+	// p999-ns), req/s, dirty%/day. The latency and throughput units are
+	// gated hardware-normalised like ns/op (see compareMetrics); the
+	// rest ride along for trajectory tracking.
+	Metrics map[string]map[string]float64 `json:"metrics,omitempty"`
 }
 
-// benchLine matches e.g.
-// "BenchmarkFoo-4   123  9876543 ns/op  3.5 dirty%/day  120 B/op  7 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
+// benchLine matches the head of a result line, e.g.
+// "BenchmarkFoo-4   123  9876543 ns/op  ..."; the trailing (value, unit)
+// metric pairs are tokenized by parseMetrics.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
 
 // cpuLine captures the "cpu: ..." header go test prints.
 var cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
@@ -132,17 +140,26 @@ func parseBench(path string) (*Record, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
-		}
-		rec.Benchmarks[m[1]] = ns
-		if m[3] != "" {
-			if allocs, err := strconv.ParseFloat(m[3], 64); err == nil {
+		name := m[1]
+		for unit, val := range parseMetrics(m[2]) {
+			switch unit {
+			case "ns/op":
+				rec.Benchmarks[name] = val
+			case "allocs/op":
 				if rec.Allocs == nil {
 					rec.Allocs = map[string]float64{}
 				}
-				rec.Allocs[m[1]] = allocs
+				rec.Allocs[name] = val
+			case "B/op", "MB/s":
+				// Covered by allocs/op and ns/op respectively; skip.
+			default:
+				if rec.Metrics == nil {
+					rec.Metrics = map[string]map[string]float64{}
+				}
+				if rec.Metrics[name] == nil {
+					rec.Metrics[name] = map[string]float64{}
+				}
+				rec.Metrics[name][unit] = val
 			}
 		}
 	}
@@ -153,6 +170,23 @@ func parseBench(path string) (*Record, error) {
 		return nil, fmt.Errorf("%s: no benchmark lines found", path)
 	}
 	return rec, nil
+}
+
+// parseMetrics tokenizes the (value, unit) pairs trailing a benchmark
+// result line: "9876543 ns/op 120 B/op 7 allocs/op 12345 p50-ns ...".
+// Tokens that do not parse as a number end the scan (nothing after the
+// metric pairs is meaningful).
+func parseMetrics(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	out := make(map[string]float64, len(fields)/2)
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		out[fields[i+1]] = val
+	}
+	return out
 }
 
 func readRecord(path string) (*Record, error) {
@@ -258,7 +292,108 @@ func compare(oldRec, newRec *Record, ref string, threshold float64) bool {
 	if !compareAllocs(oldRec, newRec, threshold) {
 		ok = false
 	}
+	if !compareMetrics(oldRec, newRec, ref, threshold) {
+		ok = false
+	}
 	return ok
+}
+
+// gatedUnits maps the custom-metric units the gate enforces to their
+// direction: lowerBetter units (latency percentiles) are normalised by
+// dividing by the reference ns/op, higherBetter units (throughput) by
+// multiplying — req/s times the reference's ns-per-op is reference-ops
+// per request, a machine-free measure of serving work. p999-ns is
+// deliberately ungated: at 3x-iteration CI benchtimes the extreme tail
+// is one sample and pure noise, so it is recorded for trajectory only.
+const (
+	lowerBetter = iota
+	higherBetter
+)
+
+var gatedUnits = map[string]int{
+	"p50-ns": lowerBetter,
+	"p99-ns": lowerBetter,
+	"req/s":  higherBetter,
+}
+
+// compareMetrics gates the custom latency/throughput metrics with the
+// same hardware normalisation as ns/op. Units outside gatedUnits are
+// reported but never fail the build.
+func compareMetrics(oldRec, newRec *Record, ref string, threshold float64) bool {
+	type key struct{ name, unit string }
+	keys := make([]key, 0, len(newRec.Metrics))
+	for name, units := range newRec.Metrics {
+		for unit := range units {
+			if _, ok := oldRec.Metrics[name][unit]; ok {
+				keys = append(keys, key{name, unit})
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return true // baseline predates metric tracking; nothing to gate
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].name != keys[b].name {
+			return keys[a].name < keys[b].name
+		}
+		return keys[a].unit < keys[b].unit
+	})
+	ok := true
+	fmt.Printf("\n%-50s %12s %12s %8s\n", "metric", "old", "new", "ratio")
+	for _, k := range keys {
+		oldV, newV := oldRec.Metrics[k.name][k.unit], newRec.Metrics[k.name][k.unit]
+		label := k.name + " " + k.unit
+		dir, gated := gatedUnits[k.unit]
+		oldN, oldHasRef := normalisedMetric(oldRec, k.name, ref, k.unit, dir, oldV)
+		newN, newHasRef := normalisedMetric(newRec, k.name, ref, k.unit, dir, newV)
+		if !gated || !oldHasRef || !newHasRef {
+			note := "  (not gated)"
+			if gated {
+				note = "  (no reference — not gated)"
+			}
+			raw := 1.0
+			if oldV > 0 {
+				raw = newV / oldV
+			}
+			fmt.Printf("%-50s %12.0f %12.0f %7.2fx%s\n", label, oldV, newV, raw, note)
+			continue
+		}
+		// Express the gate uniformly as "how much worse did it get".
+		worse := 1.0
+		switch {
+		case dir == lowerBetter && oldN > 0:
+			worse = newN / oldN
+		case dir == higherBetter && newN > 0:
+			worse = oldN / newN
+		}
+		verdict := ""
+		if worse > threshold {
+			verdict = "  REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-50s %12.0f %12.0f %7.2fx%s\n", label, oldV, newV, worse, verdict)
+	}
+	if !ok {
+		fmt.Printf("benchdiff: normalised latency/throughput regression past %.2fx (reference %s)\n", threshold, ref)
+	}
+	return ok
+}
+
+// normalisedMetric hardware-normalises one gated metric against the
+// record's reference benchmark at the matching cpu suffix: latencies
+// divide by the reference ns/op, throughputs multiply by it.
+func normalisedMetric(rec *Record, name, ref, unit string, dir int, v float64) (float64, bool) {
+	_, suffix := cpuSuffix(name)
+	r, ok := rec.Benchmarks[ref+suffix]
+	if !ok || r <= 0 {
+		if r, ok = rec.Benchmarks[ref]; !ok || r <= 0 {
+			return v, false
+		}
+	}
+	if dir == higherBetter {
+		return v * r, true
+	}
+	return v / r, true
 }
 
 // compareAllocs gates allocs/op raw (allocation counts are hardware-

@@ -1,0 +1,236 @@
+// Command truthload is the repo's wrk-style load harness for a running
+// truthserved: it discovers the served world over the /v1 API, drives a
+// configurable read/write mix at an open-loop arrival rate, and reports
+// latency percentiles and achieved throughput.
+//
+//	truthload -url http://127.0.0.1:8080 -requests 5000 -rate 2000
+//	truthload -url ... -write-mix 0.05 -write-batch 8   # 5% ingest POSTs
+//	truthload -url ... -bench BenchmarkTruthloadRead    # Go-bench line
+//
+// With -bench the single output line is Go-benchmark format (mean
+// latency as ns/op, plus p50-ns/p99-ns/p999-ns/req-s custom metrics),
+// which `benchdiff -parse` folds into the BENCH_<sha>.json artifact and
+// gates against the committed baseline like any other benchmark.
+//
+// The read mix is point queries over the discovered object keys (90%),
+// the trust vector (5%) and the full answer table (5%); -revalidate
+// sends If-None-Match with the current ETag on point reads, measuring
+// the 304 path a well-behaved cache hits. Writes POST /v1/claims
+// batches that re-assert jittered numeric values from randomly chosen
+// (source, item) pairs — the values parse under the server's attribute
+// kinds, so every write is a genuine upsert through the delta machinery.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"truthdiscovery/internal/loadgen"
+)
+
+func main() {
+	var (
+		url        = flag.String("url", "", "base URL of a running truthserved (required), e.g. http://127.0.0.1:8080")
+		requests   = flag.Int("requests", 2000, "total requests to issue")
+		rate       = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop at full speed)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = 4 x GOMAXPROCS)")
+		writeMix   = flag.Float64("write-mix", 0, "fraction of requests that POST /v1/claims (0..1)")
+		writeBatch = flag.Int("write-batch", 4, "claims per ingest POST")
+		revalidate = flag.Bool("revalidate", false, "send If-None-Match on point reads (measures the 304 path)")
+		seed       = flag.Int64("seed", 1, "mix RNG seed")
+		bench      = flag.String("bench", "", "emit one Go-benchmark-format line under this name instead of the human summary")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+	if *url == "" {
+		usageError("-url is required")
+	}
+	if *writeMix < 0 || *writeMix > 1 {
+		usageError(fmt.Sprintf("-write-mix must be in [0,1], got %g", *writeMix))
+	}
+	if *requests <= 0 {
+		usageError(fmt.Sprintf("-requests must be > 0, got %d", *requests))
+	}
+	if *writeBatch < 1 {
+		usageError(fmt.Sprintf("-write-batch must be >= 1, got %d", *writeBatch))
+	}
+
+	base := strings.TrimRight(*url, "/")
+	world, err := discover(base, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	if *writeMix > 0 && len(world.writable) == 0 {
+		fatal(fmt.Errorf("write mix requested but the server exposes no numeric answers (or no trust roster) to synthesize upserts from"))
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:  base,
+		Client:   &http.Client{Timeout: *timeout},
+		Workers:  *workers,
+		Rate:     *rate,
+		Requests: *requests,
+		Seed:     *seed,
+		Mix:      world.mix(*writeMix, *writeBatch, *revalidate),
+	}
+	res, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *bench != "" {
+		fmt.Println(res.BenchLine(*bench, runtime.GOMAXPROCS(0)))
+	} else {
+		fmt.Println(res.String())
+		codes := make([]string, 0, len(res.Status))
+		for code, n := range res.Status {
+			codes = append(codes, fmt.Sprintf("%d:%d", code, n))
+		}
+		fmt.Printf("status counts: %s\n", strings.Join(codes, " "))
+	}
+	if res.Status[200]+res.Status[202]+res.Status[304] == 0 {
+		fatal(fmt.Errorf("no request succeeded; is %s a truthserved?", base))
+	}
+}
+
+// world is what discovery learned from the target server: the object
+// keys to read and the (source, object, attribute, value) tuples writes
+// can jitter.
+type world struct {
+	objects  []string
+	etag     string
+	writable []writeTarget
+}
+
+type writeTarget struct {
+	object, attribute string
+	num               float64
+	sources           []string
+}
+
+// discover reads /v1/answers and /v1/trust once to learn the servable
+// object keys, the current ETag, and the numeric items + source roster
+// writes are synthesized from.
+func discover(base string, timeout time.Duration) (*world, error) {
+	client := &http.Client{Timeout: timeout}
+	var answers struct {
+		Answers []struct {
+			Object    string  `json:"object"`
+			Attribute string  `json:"attribute"`
+			Kind      string  `json:"kind"`
+			Num       float64 `json:"num"`
+		} `json:"answers"`
+	}
+	etag, err := getJSON(client, base+"/v1/answers", &answers)
+	if err != nil {
+		return nil, fmt.Errorf("discovering answers: %w", err)
+	}
+	var trust struct {
+		Sources []struct {
+			Name string `json:"name"`
+		} `json:"sources"`
+	}
+	if _, err := getJSON(client, base+"/v1/trust", &trust); err != nil {
+		return nil, fmt.Errorf("discovering trust: %w", err)
+	}
+	sources := make([]string, 0, len(trust.Sources))
+	for _, s := range trust.Sources {
+		sources = append(sources, s.Name)
+	}
+
+	w := &world{etag: etag}
+	seen := map[string]bool{}
+	for _, a := range answers.Answers {
+		if !seen[a.Object] {
+			seen[a.Object] = true
+			w.objects = append(w.objects, a.Object)
+		}
+		if a.Kind == "number" && len(sources) > 0 {
+			w.writable = append(w.writable, writeTarget{
+				object: a.Object, attribute: a.Attribute, num: a.Num, sources: sources,
+			})
+		}
+	}
+	if len(w.objects) == 0 {
+		return nil, fmt.Errorf("%s/v1/answers returned no answers", base)
+	}
+	return w, nil
+}
+
+func getJSON(client *http.Client, url string, out any) (etag string, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return resp.Header.Get("ETag"), json.NewDecoder(resp.Body).Decode(out)
+}
+
+// mix builds the per-request operation chooser.
+func (w *world) mix(writeMix float64, writeBatch int, revalidate bool) func(int, *rand.Rand) loadgen.Op {
+	return func(_ int, r *rand.Rand) loadgen.Op {
+		if writeMix > 0 && r.Float64() < writeMix {
+			return w.writeOp(r, writeBatch)
+		}
+		switch p := r.Float64(); {
+		case p < 0.90:
+			op := loadgen.Op{Method: http.MethodGet,
+				Path: "/v1/answers/" + w.objects[r.Intn(len(w.objects))]}
+			if revalidate && w.etag != "" {
+				op.Header = map[string]string{"If-None-Match": w.etag}
+			}
+			return op
+		case p < 0.95:
+			return loadgen.Op{Method: http.MethodGet, Path: "/v1/trust"}
+		default:
+			return loadgen.Op{Method: http.MethodGet, Path: "/v1/answers"}
+		}
+	}
+}
+
+// writeOp synthesizes one ingest batch: random (source, item) pairs
+// re-asserting the fused numeric value jittered by up to ±1%, formatted
+// so the server's value parser round-trips it.
+func (w *world) writeOp(r *rand.Rand, batch int) loadgen.Op {
+	type claimJSON struct {
+		Source    string `json:"source"`
+		Object    string `json:"object"`
+		Attribute string `json:"attribute"`
+		Value     string `json:"value"`
+	}
+	claims := make([]claimJSON, batch)
+	for i := range claims {
+		t := w.writable[r.Intn(len(w.writable))]
+		v := t.num * (1 + (r.Float64()-0.5)/50)
+		claims[i] = claimJSON{
+			Source:    t.sources[r.Intn(len(t.sources))],
+			Object:    t.object,
+			Attribute: t.attribute,
+			Value:     strconv.FormatFloat(v, 'f', 4, 64),
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"claims": claims})
+	return loadgen.Op{Method: http.MethodPost, Path: "/v1/claims", Body: body}
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "truthload:", err)
+	os.Exit(1)
+}

@@ -11,18 +11,39 @@
 //	truthserved -in claims.csv -method AccuPr -addr :8080 -store ./runs
 //	truthserved -simulate stock -days 5 -refresh 24h -method AccuFormatAttr
 //
-// Endpoints: /answers, /answers/{object}, /trust, /methods, /healthz,
-// /stats. With -addr host:0 the chosen port is printed on stdout as
+// The HTTP surface is versioned under /v1/ (GET /v1/answers,
+// /v1/answers/{object}, /v1/trust, /v1/methods, /v1/healthz, /v1/stats;
+// the unprefixed paths remain as deprecated aliases for one release).
+// Answer and trust responses carry a strong ETag keyed on the store
+// version, so If-None-Match revalidation costs a 304 until a refresh
+// rotates it.
+//
+// Single-snapshot worlds (-in, or -simulate -days 1) additionally accept
+// live claims on POST /v1/claims: batches of upserts/retractions are
+// coalesced and flushed through the same delta/incremental machinery as
+// the daily pipeline (-ingest-flush/-ingest-age/-ingest-pending size the
+// window and backpressure). Live claims are volatile by design: a
+// restart re-fuses from the input file, and the store refuses to resume
+// a run whose day lies outside the input stream.
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight requests drain, any
+// pending ingest batch flushes (persisting the final version when a
+// store is configured), and the process exits 0.
+//
+// With -addr host:0 the chosen port is printed on stdout as
 // "truthserved: serving on http://host:port".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	td "truthdiscovery"
@@ -47,6 +68,10 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "fusion worker count (0 = GOMAXPROCS, 1 = serial)")
 		shards      = flag.Int("shards", 0, "item shards (0/1 = flat engine); answers are bit-identical at any count")
 		maxResident = flag.Int("max-resident-shards", 0, "with -shards: shard arenas kept in memory at once (0 = all)")
+		ingest      = flag.Bool("ingest", true, "accept live claims on POST /v1/claims (single-snapshot worlds only)")
+		ingestFlush = flag.Int("ingest-flush", 256, "flush the pending ingest set at this many distinct (item, source) keys")
+		ingestAge   = flag.Duration("ingest-age", 250*time.Millisecond, "flush a non-empty pending ingest set after this age")
+		ingestMax   = flag.Int("ingest-pending", 0, "refuse claim batches (429) past this many pending keys (0 = 8 x -ingest-flush)")
 	)
 	flag.Parse()
 
@@ -80,6 +105,15 @@ func main() {
 	if *refresh <= 0 {
 		usageError(fmt.Sprintf("-refresh must be positive, got %s", *refresh))
 	}
+	if *ingestFlush < 1 {
+		usageError(fmt.Sprintf("-ingest-flush must be >= 1, got %d", *ingestFlush))
+	}
+	if *ingestAge <= 0 {
+		usageError(fmt.Sprintf("-ingest-age must be positive, got %s", *ingestAge))
+	}
+	if *ingestMax < 0 {
+		usageError(fmt.Sprintf("-ingest-pending must be >= 0, got %d", *ingestMax))
+	}
 
 	ds, day0, deltas, err := loadWorld(*in, *simulate, *days, *seed)
 	if err != nil {
@@ -93,13 +127,17 @@ func main() {
 		}
 	}
 
-	fo := fusion.Options{Parallelism: *parallel}
-	buildEngine := func() (serve.Engine, error) {
-		if *shards > 1 {
-			return serve.NewShardedEngine(ds, day0, nil, *method, *shards, *maxResident, fo)
-		}
-		return serve.NewFlatEngine(ds, day0, nil, *method, fo)
+	// Live ingest shares the refresher with the canned delta stream, but a
+	// multi-day stream owns the day counter — mixing the two would make
+	// "which snapshot does this run reflect" ambiguous — so ingest is only
+	// armed for single-snapshot worlds.
+	ingestEnabled := *ingest && len(deltas) == 0
+	if *ingest && len(deltas) > 0 {
+		fmt.Fprintln(os.Stderr, "truthserved: live ingest disabled: the input is a multi-day stream (POST /v1/claims will answer 503)")
 	}
+
+	eo := serve.EngineOptions{Parallelism: *parallel, Shards: *shards, MaxResidentShards: *maxResident}
+	fo := fusion.Options{Parallelism: *parallel}
 	// The fingerprint couples the method/options digest with the input
 	// data's digest AND the tolerance regime: a different CSV in the same
 	// store directory, or the same day-0 claims bucketed under tolerances
@@ -110,10 +148,10 @@ func main() {
 	srv := serve.NewServer()
 
 	// A store whose current run carries this exact fingerprint serves it
-	// immediately: without pending deltas no engine is built at all (a
-	// warm restart costs one file read, no fuse); with pending deltas the
-	// engine is rebuilt and fast-forwarded to the run's day before the
-	// refresher takes over. Anything else publishes a fresh fuse.
+	// immediately: without pending deltas (and without ingest) no engine
+	// is built at all — a warm restart costs one file read, no fuse; with
+	// pending deltas or live ingest armed the engine is rebuilt and
+	// fast-forwarded to the run's day before the refresher takes over.
 	// Every fallback to a fresh fuse is reported: an operator expecting a
 	// one-file-read warm restart must learn when the persisted runs were
 	// unusable and a full re-fusion happened instead.
@@ -133,8 +171,8 @@ func main() {
 			steps := run.Day - day0.Day
 			var eng serve.Engine
 			caughtUp := true
-			if steps < len(deltas) {
-				if eng, err = buildEngine(); err != nil {
+			if steps < len(deltas) || ingestEnabled {
+				if eng, err = serve.NewEngine(ds, day0, nil, *method, eo); err != nil {
 					fatal(err)
 				}
 				for i := 0; i < steps; i++ {
@@ -159,7 +197,7 @@ func main() {
 		}
 	}
 	if r == nil {
-		eng, err := buildEngine()
+		eng, err := serve.NewEngine(ds, day0, nil, *method, eo)
 		if err != nil {
 			fatal(err)
 		}
@@ -170,6 +208,24 @@ func main() {
 		}
 		fmt.Printf("truthserved: published version %d (%s, %s, %d items)\n",
 			v.Version, v.Method, v.Label, len(v.Answers))
+	}
+
+	var ing *serve.Ingester
+	if ingestEnabled {
+		ing = serve.NewIngester(ds, r, day0, serve.IngestConfig{
+			MaxBatch:   *ingestFlush,
+			MaxAge:     *ingestAge,
+			MaxPending: *ingestMax,
+		})
+		ing.Start()
+		srv.SetIngester(ing)
+		fmt.Printf("truthserved: live ingest armed (flush at %d keys or %s; backpressure past %d pending)\n",
+			*ingestFlush, *ingestAge, func() int {
+				if *ingestMax > 0 {
+					return *ingestMax
+				}
+				return 8 * *ingestFlush
+			}())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -198,9 +254,38 @@ func main() {
 		}()
 	}
 
+	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop
+	// accepting, drain in-flight requests, flush any pending ingest batch
+	// (persisting the final version when a store is configured), exit 0.
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
 		fatal(err)
+	case s := <-sig:
+		fmt.Printf("truthserved: %v: draining requests\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "truthserved: drain timed out: %v\n", err)
+		}
+		if ing != nil {
+			if err := ing.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "truthserved: final ingest flush failed: %v\n", err)
+			}
+		}
+		if v := srv.View(); v != nil {
+			fmt.Printf("truthserved: shut down cleanly at version %d\n", v.Version)
+		} else {
+			fmt.Println("truthserved: shut down cleanly")
+		}
 	}
 }
 

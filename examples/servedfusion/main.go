@@ -1,10 +1,13 @@
 // Served fusion: the end product of the paper's pipeline is not a batch
 // table but an answer service — "what is this stock's price right now?".
 // This example runs the whole serving path in-process: fuse day one,
-// persist the run to a store, serve it over HTTP from an immutable
-// atomically-swapped view, then let the refresher consume day two's delta
-// — advancing the incremental engine, persisting version 2 and swapping
-// the served view without ever blocking a reader.
+// persist the run to a store, serve it over the /v1 HTTP API from an
+// immutable atomically-swapped view, then let the refresher consume day
+// two's delta — advancing the incremental engine, persisting version 2
+// and swapping the served view without ever blocking a reader. Along the
+// way it revalidates with If-None-Match (a 304 until the swap rotates
+// the version-keyed ETag) and pushes a live repricing through the
+// batching ingest path, which flows through the same delta machinery.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 
 	td "truthdiscovery"
 	"truthdiscovery/internal/fusion"
@@ -59,7 +63,9 @@ func main() {
 	defer os.RemoveAll(dir)
 	st, err := store.Open(dir)
 	check(err)
-	eng, err := serve.NewFlatEngine(ds, day0, nil, "AccuPr", fusion.Options{})
+	// One constructor picks the engine from the options: Shards > 1 would
+	// select the sharded incremental engine, with identical answers.
+	eng, err := serve.NewEngine(ds, day0, nil, "AccuPr", serve.EngineOptions{})
 	check(err)
 	srv := serve.NewServer()
 	fp := td.FuseOptions{}.Fingerprint("AccuPr")
@@ -71,17 +77,43 @@ func main() {
 
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	fmt.Printf("day1 sku-00 = %s\n", get(ts, "/answers/sku-00"))
+	body, etag := get(ts, "/v1/answers/sku-00", "")
+	fmt.Printf("day1 sku-00 = %s\n", body)
+
+	// A cache that revalidates with the day-1 ETag pays a 304, no body.
+	if _, e := get(ts, "/v1/answers/sku-00", etag); e != "not modified" {
+		log.Fatalf("expected a 304 while the version is unchanged, got %q", e)
+	}
+	fmt.Printf("revalidation with %s: 304 Not Modified\n", etag)
 
 	// Day two arrives as a delta: the engine advances incrementally, the
-	// run is persisted as version 2, and the served view swaps.
+	// run is persisted as version 2, and the served view swaps — rotating
+	// the ETag, so the same conditional GET now returns a fresh body.
 	v, stats, err := r.Apply(deltas[0])
 	check(err)
 	fmt.Printf("refreshed to version %d (%s): %d of %d items dirty\n",
 		v.Version, v.Label, stats.DirtyItems, stats.TotalItems)
-	fmt.Printf("day2 sku-00 = %s\n", get(ts, "/answers/sku-00"))
+	body, _ = get(ts, "/v1/answers/sku-00", etag)
+	fmt.Printf("day2 sku-00 = %s (ETag rotated)\n", body)
 
-	// Both versions remain on disk; a restarted server could Resume the
+	// Live ingest: a repricing POSTed to /v1/claims flows through the
+	// same delta/incremental machinery and publishes version 3.
+	day1, err := day0.Apply(deltas[0])
+	check(err)
+	ing := serve.NewIngester(ds, r, day1, serve.IngestConfig{MaxBatch: 4})
+	srv.SetIngester(ing)
+	batch := `{"claims":[
+		{"source":"north","object":"sku-00","attribute":"price","value":"9.99"},
+		{"source":"south","object":"sku-00","attribute":"price","value":"9.99"},
+		{"source":"east","object":"sku-00","attribute":"price","value":"9.99"}]}`
+	resp, err := ts.Client().Post(ts.URL+"/v1/claims", "application/json", strings.NewReader(batch))
+	check(err)
+	resp.Body.Close()
+	check(ing.Flush())
+	body, _ = get(ts, "/v1/answers/sku-00", "")
+	fmt.Printf("after live repricing (POST /v1/claims → %d): sku-00 = %s\n", resp.StatusCode, body)
+
+	// All versions remain on disk; a restarted server could Resume the
 	// current one without re-fusing anything.
 	versions, err := st.Versions()
 	check(err)
@@ -90,11 +122,21 @@ func main() {
 	fmt.Printf("store holds versions %v; current is %d (%s)\n", versions, run.Version, run.Label)
 }
 
-// get fetches one object's fused value from the API.
-func get(ts *httptest.Server, path string) string {
-	resp, err := ts.Client().Get(ts.URL + path)
+// get fetches one object's fused value from the API, optionally
+// revalidating with If-None-Match. It returns the value (or "not
+// modified" on a 304) and the response's ETag.
+func get(ts *httptest.Server, path, ifNoneMatch string) (value, etag string) {
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	check(err)
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := ts.Client().Do(req)
 	check(err)
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		return "", "not modified"
+	}
 	var body struct {
 		Answers []struct {
 			Value string `json:"value"`
@@ -104,7 +146,7 @@ func get(ts *httptest.Server, path string) string {
 	if resp.StatusCode != http.StatusOK || len(body.Answers) != 1 {
 		log.Fatalf("GET %s: status %d, %d answers", path, resp.StatusCode, len(body.Answers))
 	}
-	return body.Answers[0].Value
+	return body.Answers[0].Value, resp.Header.Get("ETag")
 }
 
 func check(err error) {

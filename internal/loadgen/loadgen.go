@@ -1,0 +1,228 @@
+// Package loadgen is the repo's wrk-style HTTP load harness: a worker
+// pool drives a configurable operation mix against a base URL and
+// reports latency percentiles and achieved throughput.
+//
+// Arrival is open-loop when a Rate is set: request n is *scheduled* at
+// start + n/Rate, and its latency is measured from that scheduled
+// instant — not from when a worker got around to sending it — so a
+// server that stalls accumulates the stall into every queued request's
+// latency instead of silently slowing the offered load (the coordinated-
+// omission trap closed-loop harnesses fall into). With Rate 0 the pool
+// runs closed-loop: every worker fires its next request the moment the
+// previous one completes, measuring peak capacity rather than behaviour
+// at a fixed offered load.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op is one request of the mix.
+type Op struct {
+	Method string
+	Path   string // joined onto Config.BaseURL
+	Body   []byte // sent as application/json when non-nil
+	// Header holds extra request headers (e.g. If-None-Match for a
+	// revalidation mix).
+	Header map[string]string
+}
+
+// Config describes one load run.
+type Config struct {
+	BaseURL string
+	// Client issues the requests (nil: a pooled client sized to Workers).
+	Client *http.Client
+	// Workers is the pool size (<= 0: GOMAXPROCS * 4 — enough to keep an
+	// open-loop schedule honest through per-request latency).
+	Workers int
+	// Rate is the open-loop arrival rate in requests/second across the
+	// whole pool; 0 runs closed-loop.
+	Rate float64
+	// Requests is the total number of requests to issue (must be > 0).
+	Requests int
+	// Mix picks the n-th operation; it must be safe for concurrent calls
+	// with distinct *rand.Rand instances (one per worker).
+	Mix func(n int, r *rand.Rand) Op
+	// Seed derives the per-worker RNGs (worker w uses Seed + w).
+	Seed int64
+}
+
+// Result aggregates one run.
+type Result struct {
+	Requests int
+	Errors   int         // transport failures (no status code)
+	Status   map[int]int // responses by status code
+	Elapsed  time.Duration
+
+	Mean, P50, P90, P99, P999, Max time.Duration
+	// Throughput is achieved requests/second (completed over elapsed).
+	Throughput float64
+}
+
+// String renders the result for humans.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"%d requests in %v (%.0f req/s) · p50 %v · p90 %v · p99 %v · p99.9 %v · max %v · %d errors",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.P999.Round(time.Microsecond),
+		r.Max.Round(time.Microsecond), r.Errors)
+}
+
+// Run drives the configured load and blocks until every request has
+// completed (or the context ends, which stops scheduling new requests).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: Requests must be > 0")
+	}
+	if cfg.Mix == nil {
+		return nil, fmt.Errorf("loadgen: a Mix is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) * 4
+	}
+	if workers > cfg.Requests {
+		workers = cfg.Requests
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = workers
+		client = &http.Client{Transport: tr}
+	}
+
+	type shard struct {
+		lats   []time.Duration
+		errs   int
+		status map[int]int
+	}
+	shards := make([]shard, workers)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			sh := &shards[w]
+			sh.status = make(map[int]int)
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= cfg.Requests || ctx.Err() != nil {
+					return
+				}
+				// Scheduled start: the open-loop arrival process. Latency
+				// is measured from here, so waiting on a slow server does
+				// not excuse the requests queued behind it.
+				sched := start
+				if cfg.Rate > 0 {
+					sched = start.Add(time.Duration(float64(n) / cfg.Rate * float64(time.Second)))
+					if d := time.Until(sched); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+				} else {
+					sched = time.Now()
+				}
+				op := cfg.Mix(n, rng)
+				var body io.Reader
+				if op.Body != nil {
+					body = bytes.NewReader(op.Body)
+				}
+				req, err := http.NewRequestWithContext(ctx, op.Method, cfg.BaseURL+op.Path, body)
+				if err != nil {
+					sh.errs++
+					continue
+				}
+				if op.Body != nil {
+					req.Header.Set("Content-Type", "application/json")
+				}
+				for k, v := range op.Header {
+					req.Header.Set(k, v)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					sh.errs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+				resp.Body.Close()
+				sh.lats = append(sh.lats, time.Since(sched))
+				sh.status[resp.StatusCode]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{Status: make(map[int]int), Elapsed: elapsed}
+	var all []time.Duration
+	for w := range shards {
+		all = append(all, shards[w].lats...)
+		res.Errors += shards[w].errs
+		for code, c := range shards[w].status {
+			res.Status[code] += c
+		}
+	}
+	res.Requests = len(all) + res.Errors
+	if len(all) == 0 {
+		return res, fmt.Errorf("loadgen: no request completed (%d transport errors)", res.Errors)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	res.Mean = sum / time.Duration(len(all))
+	res.P50 = percentile(all, 0.50)
+	res.P90 = percentile(all, 0.90)
+	res.P99 = percentile(all, 0.99)
+	res.P999 = percentile(all, 0.999)
+	res.Max = all[len(all)-1]
+	if elapsed > 0 {
+		res.Throughput = float64(len(all)) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// percentile returns the q-quantile of a sorted latency slice (nearest-
+// rank method).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// BenchLine renders the result as one Go-benchmark-format line, which is
+// exactly what cmd/benchdiff parses into the BENCH_<sha>.json artifact:
+// mean latency as ns/op plus p50/p99/p999 and req/s as custom metrics.
+// procs should be runtime.GOMAXPROCS(0), matching go test's -N suffix.
+func (r *Result) BenchLine(name string, procs int) string {
+	return fmt.Sprintf("%s-%d \t%d\t%.0f ns/op\t%.0f p50-ns\t%.0f p99-ns\t%.0f p999-ns\t%.0f req/s",
+		name, procs, r.Requests,
+		float64(r.Mean.Nanoseconds()), float64(r.P50.Nanoseconds()),
+		float64(r.P99.Nanoseconds()), float64(r.P999.Nanoseconds()), r.Throughput)
+}

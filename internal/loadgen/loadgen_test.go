@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunClosedLoop drives a fast handler closed-loop and checks the
+// aggregate bookkeeping: every request accounted for, status counts by
+// code, ordered percentiles, and a parseable bench line.
+func TestRunClosedLoop(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.URL.Path == "/missing" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	const reqs = 400
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Workers:  8,
+		Requests: reqs,
+		Seed:     42,
+		Mix: func(n int, r *rand.Rand) Op {
+			if n%4 == 0 {
+				return Op{Method: http.MethodGet, Path: "/missing"}
+			}
+			return Op{Method: http.MethodGet, Path: "/ok"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != reqs || res.Errors != 0 {
+		t.Fatalf("requests/errors = %d/%d, want %d/0", res.Requests, res.Errors, reqs)
+	}
+	if got := hits.Load(); got != reqs {
+		t.Fatalf("server saw %d requests, want %d", got, reqs)
+	}
+	if res.Status[http.StatusOK] != reqs*3/4 || res.Status[http.StatusNotFound] != reqs/4 {
+		t.Fatalf("status counts %v, want %d 200s and %d 404s", res.Status, reqs*3/4, reqs/4)
+	}
+	if res.P50 <= 0 || res.P50 > res.P90 || res.P90 > res.P99 ||
+		res.P99 > res.P999 || res.P999 > res.Max {
+		t.Fatalf("percentiles not ordered: p50 %v p90 %v p99 %v p999 %v max %v",
+			res.P50, res.P90, res.P99, res.P999, res.Max)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput %v, want > 0", res.Throughput)
+	}
+
+	line := res.BenchLine("BenchmarkLoadSmoke", 4)
+	if !strings.HasPrefix(line, "BenchmarkLoadSmoke-4 ") {
+		t.Fatalf("bench line %q lacks the name-procs prefix", line)
+	}
+	for _, unit := range []string{"ns/op", "p50-ns", "p99-ns", "p999-ns", "req/s"} {
+		if !strings.Contains(line, unit) {
+			t.Fatalf("bench line %q lacks %q", line, unit)
+		}
+	}
+}
+
+// TestRunOpenLoopRate: with a Rate set, the run cannot finish faster
+// than the arrival schedule — the last request is scheduled at
+// (Requests-1)/Rate — and latency is measured from the schedule, so a
+// deliberately slow server inflates the tail (coordinated-omission
+// correction).
+func TestRunOpenLoopRate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	const reqs, rate = 100, 1000.0
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Workers:  8,
+		Rate:     rate,
+		Requests: reqs,
+		Mix:      func(n int, r *rand.Rand) Op { return Op{Method: http.MethodGet, Path: "/"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minElapsed := time.Duration(float64(reqs-1) / rate * float64(time.Second))
+	if res.Elapsed < minElapsed {
+		t.Fatalf("open loop finished in %v, schedule needs >= %v", res.Elapsed, minElapsed)
+	}
+	// Achieved throughput tracks the offered rate (generously bounded:
+	// the schedule caps it above, and a healthy local server should not
+	// fall far below).
+	if res.Throughput > rate*1.25 {
+		t.Fatalf("throughput %.0f req/s exceeds the offered %v", res.Throughput, rate)
+	}
+
+	// A server that stalls one request makes the queued requests late
+	// from their *scheduled* start: the max latency must cover the stall
+	// even though each individual handler call was fast after it.
+	stall := 150 * time.Millisecond
+	var once atomic.Bool
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if once.CompareAndSwap(false, true) {
+			time.Sleep(stall)
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer slow.Close()
+	res, err = Run(context.Background(), Config{
+		BaseURL:  slow.URL,
+		Workers:  1, // one worker: the stall queues everything behind it
+		Rate:     2000,
+		Requests: 50,
+		Mix:      func(n int, r *rand.Rand) Op { return Op{Method: http.MethodGet, Path: "/"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Max < stall {
+		t.Fatalf("max latency %v does not reflect the %v stall", res.Max, stall)
+	}
+}
+
+// TestRunErrors: transport failures are counted, not dropped, and a run
+// with no completions reports an error.
+func TestRunErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	url := ts.URL
+	ts.Close() // all connections now refused
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:  url,
+		Workers:  4,
+		Requests: 20,
+		Mix:      func(n int, r *rand.Rand) Op { return Op{Method: http.MethodGet, Path: "/"} },
+	})
+	if err == nil {
+		t.Fatal("a run with zero completions must error")
+	}
+	if res.Errors != 20 {
+		t.Fatalf("errors = %d, want 20", res.Errors)
+	}
+
+	// Config validation.
+	if _, err := Run(context.Background(), Config{BaseURL: url, Requests: 0}); err == nil {
+		t.Fatal("Requests <= 0 must be rejected")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: url, Requests: 1}); err == nil {
+		t.Fatal("a nil Mix must be rejected")
+	}
+}
+
+// TestPercentile pins the nearest-rank arithmetic.
+func TestPercentile(t *testing.T) {
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.0, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Fatalf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("percentile(nil) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// envelope is the decoded uniform error body.
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// do issues one request and decodes an expected error envelope.
+func doReq(t *testing.T, ts *httptest.Server, method, path string, body string) *http.Response {
+	t.Helper()
+	var rd *strings.Reader = strings.NewReader(body)
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func wantEnvelope(t *testing.T, ts *httptest.Server, method, path, body string, status int, code string) {
+	t.Helper()
+	resp := doReq(t, ts, method, path, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != status {
+		t.Fatalf("%s %s: status %d, want %d", method, path, resp.StatusCode, status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s %s: Content-Type %q, want application/json", method, path, ct)
+	}
+	var env envelope
+	decodeBody(t, resp, &env)
+	if env.Error.Code != code {
+		t.Fatalf("%s %s: error code %q, want %q", method, path, env.Error.Code, code)
+	}
+	if env.Error.Message == "" {
+		t.Fatalf("%s %s: empty error message", method, path)
+	}
+}
+
+// TestV1ErrorEnvelope checks the redesigned surface's failure modes: a
+// uniform {"error":{"code","message"}} body, 405 with Allow on wrong
+// methods, enveloped 404s for unknown endpoints and objects, and 503
+// on the ingest endpoint when no ingester is armed.
+func TestV1ErrorEnvelope(t *testing.T) {
+	w := buildWorld(t)
+	r, srv := newRefresher(t, w, "Vote", false)
+	if _, err := r.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wantEnvelope(t, ts, http.MethodPost, "/v1/answers", "", http.StatusMethodNotAllowed, "method_not_allowed")
+	wantEnvelope(t, ts, http.MethodDelete, "/v1/trust", "", http.StatusMethodNotAllowed, "method_not_allowed")
+	wantEnvelope(t, ts, http.MethodGet, "/v1/claims", "", http.StatusMethodNotAllowed, "method_not_allowed")
+	wantEnvelope(t, ts, http.MethodGet, "/v1/no-such-endpoint", "", http.StatusNotFound, "not_found")
+	wantEnvelope(t, ts, http.MethodGet, "/v1/answers/no-such-object", "", http.StatusNotFound, "unknown_object")
+	wantEnvelope(t, ts, http.MethodPost, "/v1/claims", `{"claims":[{"source":"x"}]}`,
+		http.StatusServiceUnavailable, "ingest_disabled")
+
+	// 405 responses carry the Allow header RFC 9110 requires, and GET
+	// endpoints admit HEAD (a bodiless GET with the same headers).
+	resp := doReq(t, ts, http.MethodPost, "/v1/answers", "")
+	resp.Body.Close()
+	if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Fatalf("Allow header %q, want GET, HEAD", allow)
+	}
+	resp = doReq(t, ts, http.MethodHead, "/v1/answers", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD /v1/answers: status %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") == "" {
+		t.Fatal("HEAD /v1/answers carried no ETag")
+	}
+	resp = doReq(t, ts, http.MethodGet, "/v1/claims", "")
+	resp.Body.Close()
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Fatalf("Allow header %q, want POST", allow)
+	}
+}
+
+// TestLegacyAliases: the pre-v1 unprefixed paths answer identically to
+// their /v1 twins for one release — except /claims, which never existed
+// unprefixed and must 404.
+func TestLegacyAliases(t *testing.T) {
+	w := buildWorld(t)
+	r, srv := newRefresher(t, w, "Vote", false)
+	if _, err := r.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/methods", "/answers", "/answers/obj00", "/trust", "/stats"} {
+		var legacy, v1 wireAnswers
+		getJSON(t, ts, path, http.StatusOK, &legacy)
+		getJSON(t, ts, "/v1"+path, http.StatusOK, &v1)
+		if legacy.Version != v1.Version || legacy.Count != v1.Count {
+			t.Fatalf("%s: legacy and /v1 payloads disagree", path)
+		}
+	}
+	wantEnvelope(t, ts, http.MethodPost, "/claims", `{"claims":[]}`, http.StatusNotFound, "not_found")
+
+	// /stats names the deprecation so operators learn about it.
+	var stats map[string]any
+	getJSON(t, ts, "/v1/stats", http.StatusOK, &stats)
+	note, _ := stats["legacy_paths"].(string)
+	if !strings.Contains(note, "deprecated") {
+		t.Fatalf("stats legacy_paths = %q, want a deprecation note", note)
+	}
+	if api, _ := stats["api"].(string); api != "v1" {
+		t.Fatalf("stats api = %q, want v1", api)
+	}
+}
+
+// TestEmptyServerEnvelope: data endpoints answer an enveloped 503 before
+// the first Swap.
+func TestEmptyServerEnvelope(t *testing.T) {
+	ts := httptest.NewServer(NewServer().Handler())
+	defer ts.Close()
+	wantEnvelope(t, ts, http.MethodGet, "/v1/answers", "", http.StatusServiceUnavailable, "no_view")
+	wantEnvelope(t, ts, http.MethodGet, "/v1/trust", "", http.StatusServiceUnavailable, "no_view")
+}

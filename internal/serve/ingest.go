@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/value"
+)
+
+// ClaimOp is one wire-level ingest operation: a source asserting (or
+// retracting) its value for one data item, addressed by name. Values are
+// the same textual forms the loaders accept (value.Parse for the
+// attribute's kind); Retract ops carry no value.
+type ClaimOp struct {
+	Source    string `json:"source"`
+	Object    string `json:"object"`
+	Attribute string `json:"attribute"`
+	Value     string `json:"value,omitempty"`
+	Retract   bool   `json:"retract,omitempty"`
+}
+
+// IngestError is a rejection the HTTP layer can translate directly:
+// status, a stable machine code, and (for 429) a Retry-After hint.
+type IngestError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter string
+}
+
+func (e *IngestError) Error() string { return e.Message }
+
+// IngestConfig sizes the batching window and the backpressure bound.
+type IngestConfig struct {
+	// MaxBatch flushes the pending set once it holds this many distinct
+	// (item, source) keys (<= 0: 256).
+	MaxBatch int
+	// MaxAge flushes a non-empty pending set this long after its oldest
+	// op arrived, even below MaxBatch (<= 0: 250ms).
+	MaxAge time.Duration
+	// MaxPending bounds the pending set; a batch that would push past it
+	// is refused whole with 429 + Retry-After (<= 0: 8 * MaxBatch).
+	MaxPending int
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxAge <= 0 {
+		c.MaxAge = 250 * time.Millisecond
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 8 * c.MaxBatch
+	}
+	return c
+}
+
+// opKey identifies one (item, source) claim slot — the unit of last-wins
+// coalescing inside a batching window.
+type opKey struct {
+	item model.ItemID
+	src  model.SourceID
+}
+
+// pendingOp is the latest enqueued operation for one key.
+type pendingOp struct {
+	retract bool
+	val     value.Value
+}
+
+// Ingester is the live write path: it validates wire ops against the
+// dataset, coalesces them last-wins into a pending set, and flushes the
+// set as one model.Delta through the Refresher — the exact machinery the
+// daily pipeline uses, so a served answer after ingest is bit-identical
+// to an offline Fuse over the same claim set.
+//
+// Concurrency: mu guards the pending set and counters (held only for
+// map work, never across a fusion advance); flushMu serializes flushes
+// and is the only lock held while the engine advances, so enqueues keep
+// landing while a flush fuses.
+type Ingester struct {
+	cfg IngestConfig
+	ds  *model.Dataset
+	ref *Refresher
+
+	// Name-resolution indexes, built once (the dataset's own lookups are
+	// linear scans; the hot ingest path needs O(1)).
+	srcByName  map[string]model.SourceID
+	attrByName map[string]model.AttrID
+	objByKey   map[string]model.ObjectID
+
+	mu        sync.Mutex
+	pending   map[opKey]pendingOp
+	oldest    time.Time // arrival of the first op in the current window
+	notify    chan struct{}
+	closed    bool
+	batches   uint64
+	ops       uint64
+	rejected  uint64
+	flushes   uint64
+	flushErrs uint64
+	noops     uint64
+	lastErr   string
+
+	// flushMu serializes flushes; base is the snapshot the engine
+	// currently reflects, advanced once per flushed delta.
+	flushMu sync.Mutex
+	base    *model.Snapshot
+
+	stop context.CancelFunc
+	done chan struct{}
+}
+
+// NewIngester wires an ingester over the refresher's engine. base must be
+// the snapshot the engine currently reflects (the refresher's day/label);
+// every flush advances both together.
+func NewIngester(ds *model.Dataset, ref *Refresher, base *model.Snapshot, cfg IngestConfig) *Ingester {
+	ing := &Ingester{
+		cfg:        cfg.withDefaults(),
+		ds:         ds,
+		ref:        ref,
+		base:       base,
+		srcByName:  make(map[string]model.SourceID, len(ds.Sources)),
+		attrByName: make(map[string]model.AttrID, len(ds.Attrs)),
+		objByKey:   make(map[string]model.ObjectID, len(ds.Objects)),
+		pending:    make(map[opKey]pendingOp),
+		notify:     make(chan struct{}, 1),
+	}
+	for _, s := range ds.Sources {
+		ing.srcByName[s.Name] = s.ID
+	}
+	for _, a := range ds.Attrs {
+		ing.attrByName[a.Name] = a.ID
+	}
+	for _, o := range ds.Objects {
+		ing.objByKey[o.Key] = o.ID
+	}
+	return ing
+}
+
+// resolve validates one wire op into its key and payload. Unknown names
+// and malformed values are 400s — the item universe is fixed for the
+// stream (deltas cannot grow the item table), so an unknown (object,
+// attribute) pair can never become ingestible later.
+func (i *Ingester) resolve(op *ClaimOp) (opKey, pendingOp, error) {
+	src, ok := i.srcByName[op.Source]
+	if !ok {
+		return opKey{}, pendingOp{}, &IngestError{Status: http.StatusBadRequest,
+			Code: "unknown_source", Message: "unknown source " + op.Source}
+	}
+	attr, ok := i.attrByName[op.Attribute]
+	if !ok {
+		return opKey{}, pendingOp{}, &IngestError{Status: http.StatusBadRequest,
+			Code: "unknown_attribute", Message: "unknown attribute " + op.Attribute}
+	}
+	obj, ok := i.objByKey[op.Object]
+	if !ok {
+		return opKey{}, pendingOp{}, &IngestError{Status: http.StatusBadRequest,
+			Code: "unknown_object", Message: "unknown object " + op.Object}
+	}
+	item, ok := i.ds.LookupItem(obj, attr)
+	if !ok {
+		return opKey{}, pendingOp{}, &IngestError{Status: http.StatusBadRequest,
+			Code: "unknown_item",
+			Message: fmt.Sprintf("no data item for (%s, %s); the item universe is fixed per stream",
+				op.Object, op.Attribute)}
+	}
+	key := opKey{item: item, src: src}
+	if op.Retract {
+		return key, pendingOp{retract: true}, nil
+	}
+	v, err := value.Parse(i.ds.Attrs[attr].Kind, op.Value)
+	if err != nil {
+		return opKey{}, pendingOp{}, &IngestError{Status: http.StatusBadRequest,
+			Code: "bad_value", Message: fmt.Sprintf("value %q for %s: %v", op.Value, op.Attribute, err)}
+	}
+	return key, pendingOp{val: v}, nil
+}
+
+// Enqueue validates a batch and coalesces it into the pending set
+// (last-wins per (item, source) key). The whole batch lands or none of
+// it does: a single invalid op rejects it with 400, and a batch that
+// would push the pending set past MaxPending is refused with 429. It
+// returns the pending-set size after the batch landed.
+func (i *Ingester) Enqueue(ops []ClaimOp) (int, error) {
+	keys := make([]opKey, len(ops))
+	resolved := make([]pendingOp, len(ops))
+	for n := range ops {
+		k, p, err := i.resolve(&ops[n])
+		if err != nil {
+			return 0, err
+		}
+		keys[n], resolved[n] = k, p
+	}
+
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.closed {
+		return 0, &IngestError{Status: http.StatusServiceUnavailable,
+			Code: "shutting_down", Message: "the server is shutting down; claims are no longer accepted"}
+	}
+	// Worst-case growth check up front — every key new — so a refused
+	// batch leaves the pending set untouched.
+	if len(i.pending)+len(ops) > i.cfg.MaxPending {
+		i.rejected++
+		return len(i.pending), &IngestError{Status: http.StatusTooManyRequests,
+			Code:       "ingest_backlog",
+			Message:    fmt.Sprintf("%d claims pending and the fusion flusher is behind; retry shortly", len(i.pending)),
+			RetryAfter: "1"}
+	}
+	if len(i.pending) == 0 {
+		i.oldest = time.Now()
+	}
+	for n := range keys {
+		i.pending[keys[n]] = resolved[n]
+	}
+	i.batches++
+	i.ops += uint64(len(ops))
+	n := len(i.pending)
+	if n >= i.cfg.MaxBatch {
+		select {
+		case i.notify <- struct{}{}:
+		default:
+		}
+	}
+	return n, nil
+}
+
+// Start launches the background flusher: it flushes when the pending set
+// reaches MaxBatch (signalled by Enqueue) or when the oldest pending op
+// exceeds MaxAge. Stop with Close.
+func (i *Ingester) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	i.stop = cancel
+	i.done = make(chan struct{})
+	go func() {
+		defer close(i.done)
+		// The ticker is the age bound's clock; a quarter-period tick keeps
+		// worst-case flush lag at MaxAge * 1.25 without a timer per op.
+		tick := i.cfg.MaxAge / 4
+		if tick <= 0 {
+			tick = time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-i.notify:
+				_ = i.Flush()
+			case <-t.C:
+				i.mu.Lock()
+				due := len(i.pending) > 0 && time.Since(i.oldest) >= i.cfg.MaxAge
+				i.mu.Unlock()
+				if due {
+					_ = i.Flush()
+				}
+			}
+		}
+	}()
+}
+
+// Close stops accepting claims, halts the background flusher, and
+// flushes whatever is still pending so shutdown loses nothing.
+func (i *Ingester) Close() error {
+	i.mu.Lock()
+	i.closed = true
+	i.mu.Unlock()
+	if i.stop != nil {
+		i.stop()
+		<-i.done
+	}
+	return i.Flush()
+}
+
+// Flush drains the pending set into one delta and applies it through the
+// refresher, publishing a new served version. A flush that finds nothing
+// to change (all ops were no-ops against the base) publishes nothing.
+func (i *Ingester) Flush() error {
+	i.flushMu.Lock()
+	defer i.flushMu.Unlock()
+
+	i.mu.Lock()
+	if len(i.pending) == 0 {
+		i.mu.Unlock()
+		return nil
+	}
+	batch := i.pending
+	i.pending = make(map[opKey]pendingOp)
+	i.mu.Unlock()
+
+	dl, noops := i.buildDelta(batch)
+	if dl.Empty() {
+		i.mu.Lock()
+		i.noops += uint64(noops)
+		i.mu.Unlock()
+		return nil
+	}
+	next, err := i.base.Apply(dl)
+	if err == nil {
+		_, _, err = i.ref.Apply(dl)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if err != nil {
+		// The batch is lost (it was built against a base the refresher no
+		// longer reflects, or the engine refused it); record the failure
+		// loudly rather than retrying into the same mismatch forever.
+		i.flushErrs++
+		i.lastErr = err.Error()
+		return fmt.Errorf("serve: ingest flush: %w", err)
+	}
+	i.base = next
+	i.flushes++
+	i.noops += uint64(noops)
+	i.lastErr = ""
+	return nil
+}
+
+// buildDelta turns one coalesced batch into a sorted delta against the
+// current base snapshot. Ops that change nothing — retracting an absent
+// claim, re-asserting the identical value — are dropped and counted.
+func (i *Ingester) buildDelta(batch map[opKey]pendingOp) (*model.Delta, int) {
+	keys := make([]opKey, 0, len(batch))
+	for k := range batch {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].item != keys[b].item {
+			return keys[a].item < keys[b].item
+		}
+		return keys[a].src < keys[b].src
+	})
+
+	dl := &model.Delta{
+		FromDay:   i.base.Day,
+		ToDay:     i.base.Day + 1,
+		FromLabel: i.base.Label,
+		ToLabel:   fmt.Sprintf("live-%d", i.base.Day+1),
+		NumItems:  i.base.NumItems(),
+	}
+	noops := 0
+	for _, k := range keys {
+		op := batch[k]
+		existing, found := i.claimAt(k)
+		switch {
+		case op.retract && found:
+			dl.Retracted = append(dl.Retracted, existing)
+		case op.retract:
+			noops++ // retracting a claim that is not there
+		case found && existing.Val == op.val:
+			noops++ // re-asserting the identical value
+		case found:
+			next := existing
+			next.Val = op.val
+			next.Cause = model.CauseNone
+			next.CopiedFrom = model.NoSource
+			dl.Changed = append(dl.Changed, model.ValueChange{Old: existing, New: next})
+		default:
+			dl.Added = append(dl.Added, model.Claim{
+				Source: k.src, Item: k.item, Val: op.val,
+				Cause: model.CauseNone, CopiedFrom: model.NoSource,
+			})
+		}
+	}
+	// Ops were emitted in (item, source) order and the three lists are
+	// disjoint by construction, so the Diff invariant holds.
+	dl.MarkSorted()
+	return dl, noops
+}
+
+// claimAt finds the base snapshot's claim for one (item, source) key by
+// binary search over the item's sorted claim range.
+func (i *Ingester) claimAt(k opKey) (model.Claim, bool) {
+	claims := i.base.ItemClaims(k.item)
+	n := sort.Search(len(claims), func(j int) bool { return claims[j].Source >= k.src })
+	if n < len(claims) && claims[n].Source == k.src {
+		return claims[n], true
+	}
+	return model.Claim{}, false
+}
+
+// Base returns the snapshot the engine currently reflects (advances once
+// per flushed delta). Exposed for tests and the offline-equivalence
+// check.
+func (i *Ingester) Base() *model.Snapshot {
+	i.flushMu.Lock()
+	defer i.flushMu.Unlock()
+	return i.base
+}
+
+// Stats renders the ingest counters for /v1/stats.
+func (i *Ingester) Stats() map[string]any {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := map[string]any{
+		"enabled":      true,
+		"pending":      len(i.pending),
+		"batches":      i.batches,
+		"ops":          i.ops,
+		"rejected_429": i.rejected,
+		"flushes":      i.flushes,
+		"flush_errors": i.flushErrs,
+		"noops":        i.noops,
+		"max_batch":    i.cfg.MaxBatch,
+		"max_pending":  i.cfg.MaxPending,
+	}
+	if i.lastErr != "" {
+		out["last_error"] = i.lastErr
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"truthdiscovery/internal/fusion"
@@ -16,9 +17,15 @@ import (
 // Queries keep hitting the old view until the swap — the pipeline never
 // blocks a reader.
 //
-// A Refresher is single-writer: Publish/Apply/Run must not be called
-// concurrently with each other (the server side is lock-free regardless).
+// A Refresher serializes its writers internally: Publish, Resume and
+// Apply take one mutex, so the daily delta loop and a live claim-ingest
+// flusher can share it without coordination (the server side is
+// lock-free regardless).
 type Refresher struct {
+	// mu serializes Publish/Resume/Apply — at most one engine advance or
+	// view publication at a time.
+	mu sync.Mutex
+
 	DS     *model.Dataset
 	Engine Engine
 	Server *Server
@@ -84,6 +91,7 @@ func (r *Refresher) publish(v *View) (*View, error) {
 		r.version++
 		v.Version = r.version
 	}
+	v.etag = store.ETag(v.Version)
 	if r.Server != nil {
 		r.Server.Swap(v)
 	}
@@ -93,6 +101,8 @@ func (r *Refresher) publish(v *View) (*View, error) {
 // Publish renders, persists and serves the engine's current state — the
 // first version of a fresh stream.
 func (r *Refresher) Publish() (*View, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.Engine == nil {
 		return nil, fmt.Errorf("serve: refresher has no engine (store-only resume); nothing to publish")
 	}
@@ -107,6 +117,8 @@ func (r *Refresher) Publish() (*View, error) {
 // of no real snapshot. Callers resuming mid-stream must fast-forward the
 // engine to the run's day first (cmd/truthserved does).
 func (r *Refresher) Resume(run *store.Run) (*View, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if run.Fingerprint != r.Fingerprint {
 		return nil, fmt.Errorf("serve: stored run %d has fingerprint %s, want %s (different method/options); refuse to serve it",
 			run.Version, run.Fingerprint, r.Fingerprint)
@@ -128,6 +140,8 @@ func (r *Refresher) Resume(run *store.Run) (*View, error) {
 // swaps the served view. The delta must continue the engine's stream
 // (its FromDay is the day of the currently served state).
 func (r *Refresher) Apply(dl *model.Delta) (*View, fusion.IncrementalStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.Engine == nil {
 		return nil, fusion.IncrementalStats{}, fmt.Errorf("serve: refresher has no engine (store-only resume); cannot apply deltas")
 	}

@@ -3,7 +3,9 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -15,18 +17,33 @@ import (
 // view, so a concurrent Swap is invisible to in-flight requests and reads
 // never take a lock. A server starts empty (503 from every data endpoint)
 // until the first Swap.
+//
+// The HTTP surface is versioned under /v1/ (see Handler). Responses from
+// the answer and trust endpoints carry a strong ETag derived from the
+// served store version, so a client that revalidates with If-None-Match
+// pays one integer comparison — not a body encode — until a refresh swap
+// rotates the version.
 type Server struct {
-	view     atomic.Pointer[View]
-	requests atomic.Uint64
-	swaps    atomic.Uint64
-	lastSwap atomic.Int64 // unix seconds of the latest swap
-	started  time.Time
+	view        atomic.Pointer[View]
+	requests    atomic.Uint64
+	notModified atomic.Uint64
+	swaps       atomic.Uint64
+	lastSwap    atomic.Int64 // unix seconds of the latest swap
+	started     time.Time
+
+	// ing, when set before Handler is used, enables POST /v1/claims.
+	ing *Ingester
 }
 
 // NewServer returns an empty server; Swap publishes the first view.
 func NewServer() *Server {
 	return &Server{started: time.Now()}
 }
+
+// SetIngester enables the live claim-ingest endpoint (POST /v1/claims).
+// Must be called before the handler serves traffic; a nil ingester (the
+// default) answers 503 on the endpoint.
+func (s *Server) SetIngester(ing *Ingester) { s.ing = ing }
 
 // Swap atomically publishes a new view. In-flight requests keep reading
 // the view they loaded; new requests see the new one.
@@ -70,26 +87,80 @@ func answerToJSON(a *fusion.Answer) answerJSON {
 	}
 }
 
-// Handler returns the query API:
+// Handler returns the versioned query and ingest API:
 //
-//	GET /healthz            liveness + current version
-//	GET /methods            the method roster and the serving method
-//	GET /answers            every fused answer
-//	GET /answers/{object}   one object's answers (404 when unknown)
-//	GET /trust              the per-source trust vector
-//	GET /stats              serving counters
+//	GET  /v1/healthz            liveness + current version
+//	GET  /v1/methods            the method roster and the serving method
+//	GET  /v1/answers            every fused answer (ETag/If-None-Match)
+//	GET  /v1/answers/{object}   one object's answers (404 when unknown)
+//	GET  /v1/trust              the per-source trust vector (ETag)
+//	GET  /v1/stats              serving + ingest counters
+//	POST /v1/claims             batched claim upserts/retractions
+//
+// The pre-v1 unprefixed paths are served as deprecated aliases for one
+// release (/stats says so); /v1/claims has no alias — it never existed
+// unprefixed. Errors are a uniform JSON envelope
+// {"error":{"code","message"}}; wrong methods answer 405 with an Allow
+// header, unknown paths and objects 404.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /methods", s.handleMethods)
-	mux.HandleFunc("GET /answers", s.handleAnswers)
-	mux.HandleFunc("GET /answers/{object}", s.handleObject)
-	mux.HandleFunc("GET /trust", s.handleTrust)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	register := func(path string, method string, h http.HandlerFunc) {
+		mux.HandleFunc("/v1"+path, s.allow(method, h))
+		if path != "/claims" {
+			mux.HandleFunc(path, s.allow(method, h)) // deprecated alias
+		}
+	}
+	register("/healthz", http.MethodGet, s.handleHealthz)
+	register("/methods", http.MethodGet, s.handleMethods)
+	register("/answers", http.MethodGet, s.handleAnswers)
+	register("/answers/{object}", http.MethodGet, s.handleObject)
+	register("/trust", http.MethodGet, s.handleTrust)
+	register("/stats", http.MethodGet, s.handleStats)
+	register("/claims", http.MethodPost, s.handleClaims)
+	// Everything unmatched is an enveloped 404, not net/http's plain text.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found", "no such endpoint "+r.URL.Path)
+	})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// allow gates a handler to one HTTP method, answering an enveloped 405
+// (with the Allow header RFC 9110 requires) for anything else. GET
+// endpoints also accept HEAD — net/http strips the body for us, so the
+// caller still gets the real headers (ETag included).
+func (s *Server) allow(method string, h http.HandlerFunc) http.HandlerFunc {
+	allowed := method
+	if method == http.MethodGet {
+		allowed = "GET, HEAD"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
+			w.Header().Set("Allow", allowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				r.Method+" is not allowed here; use "+allowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// errorEnvelope is the uniform error body of every non-2xx response:
+// {"error":{"code":"...","message":"..."}}. Codes are stable,
+// machine-matchable strings; messages are for humans.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{Code: code, Message: message}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -100,7 +171,8 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(body); err != nil {
-		http.Error(w, `{"error":"response not representable as JSON"}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":{"code":"internal","message":"response not representable as JSON"}}`,
+			http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -113,12 +185,56 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 func (s *Server) loadView(w http.ResponseWriter) (*View, bool) {
 	v := s.view.Load()
 	if v == nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-			"error": "no fused run is being served yet",
-		})
+		writeError(w, http.StatusServiceUnavailable, "no_view", "no fused run is being served yet")
 		return nil, false
 	}
 	return v, true
+}
+
+// cacheControl is sent with every cacheable response: the body may be
+// stored but must be revalidated on each use — revalidation is one
+// If-None-Match integer comparison against the served version, so "fresh
+// forever until the version rotates" is exactly what no-cache buys.
+const cacheControl = "no-cache"
+
+// conditional stamps the view's version-keyed ETag and Cache-Control on
+// the response and reports whether the request's If-None-Match already
+// names that version — in which case a 304 with no body has been written
+// and the handler is done. The ETag and any body the caller encodes come
+// from the same view pointer, so a concurrent swap can never produce a
+// tag from one version and a body from another.
+func (s *Server) conditional(w http.ResponseWriter, r *http.Request, v *View) bool {
+	etag := v.ETag()
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", cacheControl)
+	if ifNoneMatchHits(r.Header.Get("If-None-Match"), etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
+// ifNoneMatchHits reports whether an If-None-Match header value matches
+// the entity tag: the wildcard, or any member of the comma-separated tag
+// list (weak comparison — a W/ prefix on a listed tag is ignored, per
+// RFC 9110 §13.1.2's rule for If-None-Match).
+func ifNoneMatchHits(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header = strings.TrimSpace(header); header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		tag := strings.TrimSpace(part)
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -152,9 +268,12 @@ type answersHeader struct {
 	Answers []answerJSON `json:"answers"`
 }
 
-func (s *Server) handleAnswers(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	v, ok := s.loadView(w)
 	if !ok {
+		return
+	}
+	if s.conditional(w, r, v) {
 		return
 	}
 	out := answersHeader{
@@ -175,7 +294,10 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("object")
 	idx := v.ObjectAnswers(key)
 	if idx == nil {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown object " + key})
+		writeError(w, http.StatusNotFound, "unknown_object", "no answers for object "+key)
+		return
+	}
+	if s.conditional(w, r, v) {
 		return
 	}
 	out := answersHeader{
@@ -195,9 +317,12 @@ type trustJSON struct {
 	Trust float64 `json:"trust"`
 }
 
-func (s *Server) handleTrust(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
 	v, ok := s.loadView(w)
 	if !ok {
+		return
+	}
+	if s.conditional(w, r, v) {
 		return
 	}
 	out := map[string]any{
@@ -217,11 +342,60 @@ func (s *Server) handleTrust(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleClaims is the live write path: a batch of claim upserts and
+// retractions, validated and enqueued for the next ingest flush. The
+// whole batch is accepted (202) or rejected — nothing is partially
+// enqueued. When the flusher has fallen behind the pending bound, the
+// answer is 429 with Retry-After, not a silently growing queue.
+func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
+	ing := s.ing
+	if ing == nil {
+		writeError(w, http.StatusServiceUnavailable, "ingest_disabled",
+			"this server does not accept live claims (started without an ingest engine)")
+		return
+	}
+	var req struct {
+		Claims []ClaimOp `json:"claims"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", "request body: "+err.Error())
+		return
+	}
+	if len(req.Claims) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_batch", `the "claims" array is empty`)
+		return
+	}
+	pending, err := ing.Enqueue(req.Claims)
+	if err != nil {
+		var ierr *IngestError
+		if errors.As(err, &ierr) {
+			if ierr.Status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", ierr.RetryAfter)
+			}
+			writeError(w, ierr.Status, ierr.Code, ierr.Message)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"accepted": len(req.Claims),
+		"pending":  pending,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	out := map[string]any{
 		"requests":       s.requests.Load(),
+		"not_modified":   s.notModified.Load(),
 		"swaps":          s.swaps.Load(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
+		"api":            "v1",
+		// The pre-v1 unprefixed paths still answer, but are deprecated
+		// and will be removed one release after the /v1 surface landed.
+		"legacy_paths": "deprecated aliases of /v1/*; migrate to the /v1 prefix",
 	}
 	if last := s.lastSwap.Load(); last != 0 {
 		out["last_swap_unix"] = last
@@ -234,6 +408,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		out["label"] = v.Label
 		out["items"] = len(v.Answers)
 		out["sources"] = len(v.SourceIDs)
+		out["etag"] = v.ETag()
+	}
+	if ing := s.ing; ing != nil {
+		out["ingest"] = ing.Stats()
+	} else {
+		out["ingest"] = map[string]any{"enabled": false}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

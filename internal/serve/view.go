@@ -35,6 +35,11 @@ type View struct {
 	// byObject maps an object key to the indices of its answers (one per
 	// attribute), in answer order.
 	byObject map[string][]int32
+
+	// etag caches the version-keyed entity tag (store.ETag of Version).
+	// publish and FromRun set it once the version is known; views built
+	// by hand leave it empty and ETag derives it on demand.
+	etag string
 }
 
 // NewView indexes a view; every slice is retained, not copied, and must
@@ -48,9 +53,20 @@ func NewView(v View) *View {
 	return &v
 }
 
+// ETag returns the strong entity tag of the view — purely a function of
+// the version, so a response body and its ETag can never disagree as
+// long as both are read from the same view pointer.
+func (v *View) ETag() string {
+	if v.etag != "" {
+		return v.etag
+	}
+	return store.ETag(v.Version)
+}
+
 // FromRun wraps a persisted run as a serving view.
 func FromRun(run *store.Run) *View {
 	return NewView(View{
+		etag:        store.ETag(run.Version),
 		Version:     run.Version,
 		Method:      run.Method,
 		Fingerprint: run.Fingerprint,
@@ -95,6 +111,36 @@ func sourceNamesFor(ds *model.Dataset, roster []model.SourceID) []string {
 		names[i] = ds.Sources[id].Name
 	}
 	return names
+}
+
+// EngineOptions mirror the execution knobs of the public FuseOptions
+// that pick and configure a serving engine. They are execution choices
+// only — answers are bit-identical at any setting.
+type EngineOptions struct {
+	// Parallelism bounds the fusion worker pool (0 = GOMAXPROCS,
+	// 1 = serial).
+	Parallelism int
+	// Shards > 1 selects the sharded engine with that many range shards;
+	// 0 or 1 selects the flat engine.
+	Shards int
+	// MaxResidentShards (with Shards > 1) bounds how many shard arenas
+	// stay resident at once (0 = all).
+	MaxResidentShards int
+}
+
+// NewEngine builds the serving engine the options call for: the flat
+// incremental engine for Shards <= 1, the sharded one otherwise. This is
+// the single constructor commands should use — the flat-vs-sharded
+// branching lives here, not at every call site. Options are assumed
+// validated (truthdiscovery.FuseOptions.Validate); out-of-range values
+// are clamped, never guessed into a different engine.
+func NewEngine(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID,
+	method string, opts EngineOptions) (Engine, error) {
+	fo := fusion.Options{Parallelism: opts.Parallelism}
+	if opts.Shards > 1 {
+		return NewShardedEngine(ds, snap, sources, method, opts.Shards, opts.MaxResidentShards, fo)
+	}
+	return NewFlatEngine(ds, snap, sources, method, fo)
 }
 
 // Engine is the fusion backend a Refresher advances across the delta

@@ -76,6 +76,17 @@ type Store struct {
 	dir string
 }
 
+// ETag renders a store version as the strong HTTP entity tag the serving
+// layer stamps on every cacheable response built from that version. The
+// version number is the perfect cache key: it changes exactly when a new
+// run is persisted and swapped in, so If-None-Match revalidation costs
+// one integer comparison and never serves a stale answer. The hex form
+// matches the run file naming (run-<version>.tdr), making an ETag
+// traceable to the file that backs it.
+func ETag(version uint64) string {
+	return fmt.Sprintf("%q", runPrefix+strconv.FormatUint(version, 16))
+}
+
 const (
 	magic         = "TDSR"
 	formatVersion = 1

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Load-harness smoke (make load-smoke): start truthserved on an
+# ephemeral port and drive a short truthload pass against it — a
+# read-heavy revalidating mix plus a write mix through POST /v1/claims —
+# checking that the harness discovers the world, sustains the run with
+# zero transport errors, and emits the Go-benchmark-format line that
+# cmd/benchdiff parses into the BENCH_<sha>.json artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+$GO build -o "$tmp/truthserved" ./cmd/truthserved
+$GO build -o "$tmp/truthload" ./cmd/truthload
+$GO run ./cmd/datagen -domain stock -stocks 40 -day 0 -seed 7 > "$tmp/claims.csv"
+
+"$tmp/truthserved" -in "$tmp/claims.csv" -method AccuPr \
+  -addr 127.0.0.1:0 > "$tmp/serve.log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(grep -o 'http://[0-9.:]*' "$tmp/serve.log" | head -1 || true)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "load-smoke: truthserved did not start" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+# Read mix with revalidation, bench-line output: the line must parse the
+# way benchdiff expects (name-procs, then value/unit pairs).
+"$tmp/truthload" -url "$addr" -requests 400 -workers 4 -revalidate \
+  -seed 1 -bench BenchmarkTruthloadRead > "$tmp/read.txt"
+cat "$tmp/read.txt"
+grep -q '^BenchmarkTruthload' "$tmp/read.txt"
+for unit in 'ns/op' 'p50-ns' 'p99-ns' 'p999-ns' 'req/s'; do
+  grep -q "$unit" "$tmp/read.txt" || {
+    echo "load-smoke: bench line lacks $unit" >&2; exit 1; }
+done
+
+# The bench line round-trips through benchdiff's parser.
+$GO run ./cmd/benchdiff -parse "$tmp/read.txt" > "$tmp/read.json"
+grep -q 'req/s' "$tmp/read.json"
+
+# Write mix: live claims flow through POST /v1/claims while reads
+# continue; the human-format summary must report zero errors.
+"$tmp/truthload" -url "$addr" -requests 200 -workers 4 -write-mix 0.2 \
+  -seed 2 > "$tmp/write.txt"
+cat "$tmp/write.txt"
+grep -q ' 0 errors' "$tmp/write.txt" || {
+  echo "load-smoke: write-mix run reported errors" >&2; exit 1; }
+grep -q '202' "$tmp/write.txt" || {
+  echo "load-smoke: write-mix run saw no 202 (no claim batch accepted)" >&2; exit 1; }
+
+echo "load-smoke: OK"

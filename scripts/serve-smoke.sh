@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Serving-layer smoke (make serve-smoke): start truthserved on an
-# ephemeral port against a generated claims file, curl every endpoint,
-# and verify one known answer — the served value must equal what
-# cmd/fuse computes from the very same claims. Also asserts the flag
-# validation both commands share: bad combinations exit 2, not no-op.
+# ephemeral port against a generated claims file, curl every /v1
+# endpoint (and the deprecated unprefixed aliases), and verify one known
+# answer — the served value must equal what cmd/fuse computes from the
+# very same claims. Also exercises the error envelope (405/404), ETag
+# revalidation (304 then rotation after a live ingest), POST /v1/claims
+# end to end, SIGTERM graceful shutdown (exit 0 after draining and
+# flushing), and the flag validation both commands share: bad
+# combinations exit 2, not no-op.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 GO=${GO:-go}
@@ -38,8 +42,10 @@ for args in "-max-resident-shards 2" "-shards -3" "-parallel -1"; do
   fi
 done
 
+# -ingest-flush 1 makes every accepted claim flush (and publish)
+# immediately, so the ingest check below needs no timing slack.
 "$tmp/truthserved" -in "$tmp/claims.csv" -method AccuPr \
-  -store "$tmp/store" -addr 127.0.0.1:0 > "$tmp/serve.log" 2>&1 &
+  -store "$tmp/store" -addr 127.0.0.1:0 -ingest-flush 1 > "$tmp/serve.log" 2>&1 &
 pid=$!
 
 addr=""
@@ -54,20 +60,38 @@ if [ -z "$addr" ]; then
   exit 1
 fi
 
+curl -fsS "$addr/v1/healthz" | grep -q '"status":"ok"'
+curl -fsS "$addr/v1/methods" | grep -q '"serving":"AccuPr"'
+curl -fsS "$addr/v1/trust" | grep -q '"trust":'
+curl -fsS "$addr/v1/stats" | grep -q '"version":1'
+curl -fsS "$addr/v1/answers" | grep -q '"count":'
+# The deprecated unprefixed aliases still answer, and /v1/stats says so.
 curl -fsS "$addr/healthz" | grep -q '"status":"ok"'
-curl -fsS "$addr/methods" | grep -q '"serving":"AccuPr"'
-curl -fsS "$addr/trust" | grep -q '"trust":'
-curl -fsS "$addr/stats" | grep -q '"version":1'
 curl -fsS "$addr/answers" | grep -q '"count":'
-code=$(curl -s -o /dev/null -w '%{http_code}' "$addr/answers/definitely-not-an-object")
+curl -fsS "$addr/v1/stats" | grep -q 'deprecated'
+code=$(curl -s -o /dev/null -w '%{http_code}' "$addr/v1/answers/definitely-not-an-object")
 [ "$code" = 404 ] || { echo "serve-smoke: unknown object returned $code, want 404" >&2; exit 1; }
 
+# Error envelope: wrong method is an enveloped 405 with Allow; unknown
+# endpoints are enveloped 404s.
+curl -s -X POST "$addr/v1/answers" | grep -q '"code":"method_not_allowed"'
+curl -sI -X POST "$addr/v1/answers" | grep -qi '^allow: GET'
+curl -s "$addr/v1/no-such-endpoint" | grep -q '"code":"not_found"'
+
+# Version-keyed caching: the answers ETag is strong and If-None-Match
+# revalidates to an empty 304.
+etag=$(curl -fsSI "$addr/v1/answers" | tr -d '\r' | awk -F': ' 'tolower($1)=="etag"{print $2}')
+[ -n "$etag" ] || { echo "serve-smoke: /v1/answers carried no ETag" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag" "$addr/v1/answers")
+[ "$code" = 304 ] || { echo "serve-smoke: revalidation returned $code, want 304" >&2; exit 1; }
+
 # One known answer: row 2 of cmd/fuse's output (object, attribute,
-# value) must be served verbatim.
+# value) must be served verbatim. Checked before the live ingest below,
+# which repricings the very claim set cmd/fuse fused.
 obj=$(awk -F, 'NR==2{print $1}' "$tmp/fused.csv")
 attr=$(awk -F, 'NR==2{print $2}' "$tmp/fused.csv")
 want=$(awk -F, 'NR==2{print $3}' "$tmp/fused.csv")
-got=$(curl -fsS "$addr/answers/$obj" | python3 -c '
+got=$(curl -fsS "$addr/v1/answers/$obj" | python3 -c '
 import json, sys
 attr = sys.argv[1]
 for a in json.load(sys.stdin)["answers"]:
@@ -79,8 +103,44 @@ if [ "$got" != "$want" ]; then
   exit 1
 fi
 
-# The run was persisted (atomically) on publish.
+# Live ingest: repricing one claim from the CSV through POST /v1/claims
+# flushes (at -ingest-flush 1) into version 2 — and rotates the ETag, so
+# the old tag now misses.
+src=$(awk -F, 'NR==2{print $1}' "$tmp/claims.csv")
+iobj=$(awk -F, 'NR==2{print $2}' "$tmp/claims.csv")
+iattr=$(awk -F, 'NR==2{print $3}' "$tmp/claims.csv")
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$addr/v1/claims" \
+  -H 'Content-Type: application/json' \
+  -d "{\"claims\":[{\"source\":\"$src\",\"object\":\"$iobj\",\"attribute\":\"$iattr\",\"value\":\"123.45\"}]}")
+[ "$code" = 202 ] || { echo "serve-smoke: POST /v1/claims returned $code, want 202" >&2; exit 1; }
+ok=""
+for _ in $(seq 1 100); do
+  if curl -fsS "$addr/v1/stats" | grep -q '"version":2'; then ok=1; break; fi
+  sleep 0.1
+done
+[ -n "$ok" ] || { echo "serve-smoke: ingest never published version 2" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag" "$addr/v1/answers")
+[ "$code" = 200 ] || { echo "serve-smoke: stale tag after ingest returned $code, want 200" >&2; exit 1; }
+
+# The runs were persisted (atomically) on publish — version 1 at
+# startup and version 2 from the ingest flush.
 ls "$tmp/store" | grep -q '^run-.*\.tdr$'
 grep -q 'run-' "$tmp/store/CURRENT"
 
-echo "serve-smoke: OK ($obj/$attr = $want served from $addr)"
+# SIGTERM shuts down gracefully: drain, flush, persist, exit 0.
+kill -TERM "$pid"
+code=0
+wait "$pid" || code=$?
+pid=""
+if [ "$code" -ne 0 ]; then
+  echo "serve-smoke: SIGTERM exit code $code, want 0" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+grep -q 'shut down cleanly at version 2' "$tmp/serve.log" || {
+  echo "serve-smoke: no clean-shutdown message in the log" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+}
+
+echo "serve-smoke: OK ($obj/$attr = $want served from $addr; ingest + graceful shutdown verified)"

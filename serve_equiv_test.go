@@ -1,6 +1,7 @@
 package truthdiscovery
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -182,6 +183,151 @@ func TestServedShardedBitIdentical(t *testing.T) {
 		if run.Answers[i] != want[i] {
 			t.Fatalf("sharded stored answer %d differs: %+v vs %+v", i, run.Answers[i], want[i])
 		}
+	}
+}
+
+// TestIngestRoundTripBitIdentical is the live-write acceptance contract
+// (ISSUE 6): claims POSTed to /v1/claims — by concurrent posters on
+// disjoint (item, source) keys — flow through the batching ingester and
+// the incremental engine, and the answers served afterwards are
+// bit-identical to a direct public Fuse over a hand-built snapshot
+// carrying the same claim set. Exercised on both the flat and the
+// sharded engine; CI runs it under -race.
+func TestIngestRoundTripBitIdentical(t *testing.T) {
+	engines := []struct {
+		name string
+		opts serve.EngineOptions
+	}{
+		{"flat", serve.EngineOptions{}},
+		{"sharded", serve.EngineOptions{Shards: 4}},
+	}
+	for _, ec := range engines {
+		t.Run(ec.name, func(t *testing.T) {
+			w := equivWorlds(t)[0] // Stock: every attribute is Number-kind
+			method := "AccuPr"
+
+			// Sample every 7th claim as a mutation target: new textual
+			// values whose parsed form ("<n>.25" → gran 0.01) we can
+			// mirror exactly in the expected snapshot.
+			type mutation struct {
+				claimIdx int
+				op       serve.ClaimOp
+				val      value.Value
+			}
+			var muts []mutation
+			for ci := 0; ci < len(w.snap.Claims) && len(muts) < 210; ci += 7 {
+				c := &w.snap.Claims[ci]
+				it := w.ds.Items[c.Item]
+				num := float64(10 + len(muts)%90)
+				muts = append(muts, mutation{
+					claimIdx: ci,
+					op: serve.ClaimOp{
+						Source:    w.ds.Sources[c.Source].Name,
+						Object:    w.ds.Objects[it.Object].Key,
+						Attribute: w.ds.Attrs[it.Attr].Name,
+						Value:     fmt.Sprintf("%.2f", num+0.25),
+					},
+					val: value.NumGran(num+0.25, 0.01),
+				})
+			}
+			if len(muts) < 100 {
+				t.Fatalf("only %d mutation targets", len(muts))
+			}
+
+			// The reference: the same claim set, hand-applied and fused
+			// offline through the public API.
+			expClaims := make([]model.Claim, len(w.snap.Claims))
+			copy(expClaims, w.snap.Claims)
+			for _, m := range muts {
+				expClaims[m.claimIdx].Val = m.val
+				expClaims[m.claimIdx].Cause = model.CauseNone
+				expClaims[m.claimIdx].CopiedFrom = model.NoSource
+			}
+			expected := model.NewSnapshot(w.snap.Day+1, fmt.Sprintf("live-%d", w.snap.Day+1),
+				w.snap.NumItems(), expClaims)
+			want, err := Fuse(w.ds, expected, method, FuseOptions{Sources: w.fused})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The live path: engine → refresher → ingester → HTTP.
+			eng, err := serve.NewEngine(w.ds, w.snap, w.fused, method, ec.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := serve.NewServer()
+			r := serve.NewRefresher(w.ds, eng, srv, nil,
+				FuseOptions{Sources: w.fused}.Fingerprint(method), w.snap.Day, w.snap.Label, fusion.Options{})
+			if _, err := r.Publish(); err != nil {
+				t.Fatal(err)
+			}
+			ing := serve.NewIngester(w.ds, r, w.snap, serve.IngestConfig{MaxBatch: 1 << 20})
+			srv.SetIngester(ing)
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			// Concurrent posters: each owns a disjoint stripe of the
+			// mutations and posts it in small batches.
+			const posters = 4
+			var wg sync.WaitGroup
+			errs := make(chan error, posters)
+			for p := 0; p < posters; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for lo := p; lo < len(muts); lo += posters * 16 {
+						var ops []serve.ClaimOp
+						for n := lo; n < len(muts) && len(ops) < 16; n += posters {
+							ops = append(ops, muts[n].op)
+						}
+						body, err := json.Marshal(map[string]any{"claims": ops})
+						if err != nil {
+							errs <- err
+							return
+						}
+						resp, err := ts.Client().Post(ts.URL+"/v1/claims", "application/json",
+							bytes.NewReader(body))
+						if err != nil {
+							errs <- err
+							return
+						}
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusAccepted {
+							errs <- fmt.Errorf("poster %d: status %d", p, resp.StatusCode)
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := ing.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The ingester's base snapshot is exactly the hand-built one.
+			if got, wantD := ing.Base().Digest(), expected.Digest(); got != wantD {
+				t.Fatalf("ingested claim set diverged: digest %s, want %s", got, wantD)
+			}
+
+			// And the served answers are the offline fuse, to the bit.
+			resp, err := ts.Client().Get(ts.URL + "/v1/answers")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got wirePayload
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if got.Version != 2 {
+				t.Fatalf("served version %d after one flush, want 2", got.Version)
+			}
+			sameWireAnswers(t, ec.name+" ingested /v1/answers", got.Answers, want)
+		})
 	}
 }
 
