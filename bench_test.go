@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"truthdiscovery/internal/dist"
 	"truthdiscovery/internal/experiments"
 	"truthdiscovery/internal/fusion"
 	"truthdiscovery/internal/loadgen"
@@ -645,7 +646,7 @@ func BenchmarkServeAnswers(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rec := httptest.NewRecorder()
-		req := httptest.NewRequest(http.MethodGet, "/answers/"+keys[i%len(keys)], nil)
+		req := httptest.NewRequest(http.MethodGet, "/v1/answers/"+keys[i%len(keys)], nil)
 		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("status %d", rec.Code)
@@ -665,7 +666,7 @@ func BenchmarkServeAnswersParallel(b *testing.B) {
 		i := 0
 		for pb.Next() {
 			rec := httptest.NewRecorder()
-			req := httptest.NewRequest(http.MethodGet, "/answers/"+keys[i%len(keys)], nil)
+			req := httptest.NewRequest(http.MethodGet, "/v1/answers/"+keys[i%len(keys)], nil)
 			h.ServeHTTP(rec, req)
 			if rec.Code != http.StatusOK {
 				panic(rec.Code)
@@ -765,4 +766,137 @@ func BenchmarkStoreRoundTrip(b *testing.B) {
 		}
 		b.StartTimer()
 	}
+}
+
+// --- Distributed fleet benchmarks ------------------------------------
+//
+// A two-worker fleet over loopback HTTP: the coordinator's full fusion
+// run (broadcast + partial folds + publish protocol overhead) and the
+// scatter-gather read path, both in the benchpairs gate so the
+// distributed layer's trajectory is tracked like every other pair.
+
+var (
+	distBenchOnce    sync.Once
+	distBenchMethod  fusion.Method
+	distBenchClients []*dist.PeerClient
+	distBenchPeers   []fusion.DistPeer
+	distBenchCPS     []int
+	distBenchN       int
+	distBenchAttrs   int
+	routedBenchFront http.Handler
+	routedBenchETag  string
+)
+
+// distBenchWorld boots (once) two shard workers behind real listeners,
+// fronts them with the router, and publishes version 1 across the fleet.
+func distBenchWorld(b *testing.B) {
+	env := benchEnviron(b)
+	d := env.Stock()
+	distBenchOnce.Do(func() {
+		m, _ := fusion.ByName("AccuPr")
+		distBenchMethod = m
+		spec := model.RangeShards(4, len(d.DS.Items))
+		bounds := []int{0, 2, 4}
+		addrs := make([]string, 2)
+		for w := 0; w < 2; w++ {
+			wk, err := dist.NewWorker(dist.WorkerConfig{
+				DS: d.DS, Snap: d.Snap, Spec: spec,
+				Lo: bounds[w], Hi: bounds[w+1], Index: w,
+				Method: m, Fingerprint: "bench-dist",
+			})
+			if err != nil {
+				panic(err)
+			}
+			// The fleet lives for the whole bench process, like the
+			// flat serveBenchWorld handler.
+			ts := httptest.NewServer(wk.Handler())
+			addrs[w] = ts.URL
+			distBenchClients = append(distBenchClients, dist.NewPeerClient(ts.URL))
+			distBenchPeers = append(distBenchPeers, distBenchClients[w])
+		}
+		rt, err := serve.NewRouter(d.DS, spec, bounds, addrs)
+		if err != nil {
+			panic(err)
+		}
+		coord := dist.NewCoordinator(dist.CoordinatorConfig{
+			DS: d.DS, Spec: spec, Method: m, Fingerprint: "bench-dist",
+			Base: d.Snap, Srv: rt.Server(), OnPublish: rt.SetWorkerVersion,
+		}, distBenchClients)
+		if err := coord.Init(); err != nil {
+			panic(err)
+		}
+		if _, err := coord.RunAndPublish(); err != nil {
+			panic(err)
+		}
+		distBenchCPS = make([]int, len(d.DS.Sources))
+		for _, c := range distBenchClients {
+			desc, err := c.Describe()
+			if err != nil {
+				panic(err)
+			}
+			for s, n := range desc.CPS {
+				distBenchCPS[s] += n
+			}
+		}
+		distBenchN = len(fusion.DefaultRoster(d.DS))
+		distBenchAttrs = len(d.DS.Attrs)
+		routedBenchFront = rt.Handler()
+		routedBenchETag = rt.Server().View().ETag()
+	})
+}
+
+// BenchmarkDistributedFuse measures one full distributed fusion run —
+// per-peer re-init, every round's trust broadcast and chained partial
+// folds — over two worker processes' control planes on loopback HTTP.
+func BenchmarkDistributedFuse(b *testing.B) {
+	distBenchWorld(b)
+	opts := fusion.Options{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range distBenchClients {
+			if err := c.Init(distBenchCPS, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := fusion.DistRun(distBenchMethod, opts, distBenchPeers, distBenchN, distBenchAttrs, distBenchCPS); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
+// BenchmarkServeLoadRouted drives the loadgen harness against the
+// scatter-gather front: every point read fans to the owning worker over
+// real TCP, so the numbers include the router's fan-out hop — directly
+// comparable to BenchmarkServeLoadRead's single-process path.
+func BenchmarkServeLoadRouted(b *testing.B) {
+	distBenchWorld(b)
+	_, keys, _ := serveBenchWorld(b) // same Stock world: same object keys
+	ts := httptest.NewServer(routedBenchFront)
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *loadgen.Result
+	for i := 0; i < b.N; i++ {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  ts.URL,
+			Requests: 500,
+			Workers:  8,
+			Seed:     int64(i + 1),
+			Mix: func(_ int, r *rand.Rand) loadgen.Op {
+				return loadgen.Op{Method: http.MethodGet, Path: "/v1/answers/" + keys[r.Intn(len(keys))]}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.P50.Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(last.P99.Nanoseconds()), "p99-ns")
+	b.ReportMetric(float64(last.P999.Nanoseconds()), "p999-ns")
+	b.ReportMetric(last.Throughput, "req/s")
 }

@@ -13,10 +13,18 @@
 //
 // The HTTP surface is versioned under /v1/ (GET /v1/answers,
 // /v1/answers/{object}, /v1/trust, /v1/methods, /v1/healthz, /v1/stats;
-// the unprefixed paths remain as deprecated aliases for one release).
+// the old unprefixed paths answer an enveloped 410 pointing at /v1).
 // Answer and trust responses carry a strong ETag keyed on the store
 // version, so If-None-Match revalidation costs a 304 until a refresh
 // rotates it.
+//
+// With -workers N the same answers are served by N shard-worker
+// processes behind a scatter-gather router: each worker owns a
+// contiguous shard range of the item space, the coordinator drives
+// fusion rounds over the fleet, and merged reads are bit-identical to
+// the single-process server. A crashed worker is respawned and
+// reattached automatically; its shard range answers enveloped 503s in
+// between.
 //
 // Single-snapshot worlds (-in, or -simulate -days 1) additionally accept
 // live claims on POST /v1/claims: batches of upserts/retractions are
@@ -72,6 +80,10 @@ func main() {
 		ingestFlush = flag.Int("ingest-flush", 256, "flush the pending ingest set at this many distinct (item, source) keys")
 		ingestAge   = flag.Duration("ingest-age", 250*time.Millisecond, "flush a non-empty pending ingest set after this age")
 		ingestMax   = flag.Int("ingest-pending", 0, "refuse claim batches (429) past this many pending keys (0 = 8 x -ingest-flush)")
+		workers     = flag.Int("workers", 0, "spawn this many shard-worker processes behind the scatter-gather router (0 = single process)")
+		distWorker  = flag.Int("dist-worker", -1, "internal: run as the shard worker with this fleet index")
+		distLo      = flag.Int("dist-lo", 0, "internal: owned shard range start")
+		distHi      = flag.Int("dist-hi", 0, "internal: owned shard range end")
 	)
 	flag.Parse()
 
@@ -114,10 +126,51 @@ func main() {
 	if *ingestMax < 0 {
 		usageError(fmt.Sprintf("-ingest-pending must be >= 0, got %d", *ingestMax))
 	}
+	if *workers < 0 {
+		usageError(fmt.Sprintf("-workers must be >= 0 (0 = single process), got %d", *workers))
+	}
+	if *workers > 0 {
+		if *in == "-" {
+			usageError("-workers cannot read claims from stdin (each worker re-reads the input)")
+		}
+		if *shards > 0 && *shards < *workers {
+			usageError(fmt.Sprintf("-shards %d cannot tile across %d workers (need at least one shard each)", *shards, *workers))
+		}
+	}
 
 	ds, day0, deltas, err := loadWorld(*in, *simulate, *days, *seed)
 	if err != nil {
 		fatal(err)
+	}
+
+	// The fingerprint couples the method/options digest with the input
+	// data's digest AND the tolerance regime: a different CSV in the same
+	// store directory, or the same day-0 claims bucketed under tolerances
+	// derived from a different collection period (-days), re-fuses
+	// instead of serving answers the current configuration would not
+	// produce. The distributed fleet shares the same digest, so a worker
+	// respawned against a different input refuses to reattach.
+	fp := opts.Fingerprint(*method) + "@" + day0.Digest() + "/" + ds.ToleranceDigest()
+
+	// Distributed modes: a worker child builds only its owned shard range
+	// and serves the coordinator's control plane; the front process
+	// spawns the fleet and serves through the scatter-gather router.
+	// Neither returns.
+	dcfg := distConfig{
+		method: *method, in: *in, simulate: *simulate, days: *days, seed: *seed,
+		parallel: *parallel, addr: *addr, storeDir: *storeDir,
+		workers: *workers, shards: *shards, refresh: *refresh,
+		ingest: *ingest, ingestFlush: *ingestFlush, ingestAge: *ingestAge, ingestMax: *ingestMax,
+		fp: fp,
+	}
+	if *distWorker >= 0 {
+		runDistWorker(dcfg, ds, day0, *distWorker, *distLo, *distHi)
+	}
+	if *workers > 0 {
+		if dcfg.shards == 0 {
+			dcfg.shards = *workers
+		}
+		runDistFront(dcfg, ds, day0, deltas)
 	}
 
 	var st *store.Store
@@ -138,14 +191,10 @@ func main() {
 
 	eo := serve.EngineOptions{Parallelism: *parallel, Shards: *shards, MaxResidentShards: *maxResident}
 	fo := fusion.Options{Parallelism: *parallel}
-	// The fingerprint couples the method/options digest with the input
-	// data's digest AND the tolerance regime: a different CSV in the same
-	// store directory, or the same day-0 claims bucketed under tolerances
-	// derived from a different collection period (-days), re-fuses
-	// instead of serving answers the current configuration would not
-	// produce.
-	fp := opts.Fingerprint(*method) + "@" + day0.Digest() + "/" + ds.ToleranceDigest()
 	srv := serve.NewServer()
+	if *shards > 1 {
+		srv.SetTopology(serve.Topology{Mode: "sharded", Shards: *shards, Kind: "range", MaxResident: *maxResident})
+	}
 
 	// A store whose current run carries this exact fingerprint serves it
 	// immediately: without pending deltas (and without ingest) no engine

@@ -1,0 +1,852 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"truthdiscovery/internal/model"
+	"truthdiscovery/internal/parallel"
+)
+
+// Distributed fusion: the sharded engine's round structure cut at the
+// process boundary.
+//
+// The sharded drivers (sharded_methods.go) already split every method
+// into two kinds of work: per-item phases that write only the owning
+// shard's score space, and per-source trust folds that visit items in
+// ascending global item order. A worker that owns a contiguous range of
+// range shards can therefore run its phases knowing only the current
+// trust vector, and the cross-worker trust merge is the same fold chained
+// through the workers in ascending shard order — range sharding makes
+// worker order equal global item order, so the floating-point association
+// of the fold is exactly the flat engine's. The 2-/3-ESTIMATES global
+// [0,1] rescales decompose the same way: min/max gather per worker (both
+// are association-insensitive), one global combine, one broadcast apply.
+//
+// DistPeer is that protocol: Phase / MinMax / Rescale / Fold. DistExec
+// implements it in-process over an owned shard subset (the worker side —
+// internal/dist wraps it in HTTP), and DistRun is the coordinator loop
+// that mirrors each sharded driver round for round, keeping results
+// bit-identical to flat Fuse at any worker count.
+
+// Phase, space and fold selectors of the DistPeer protocol. Only
+// 3-ESTIMATES uses the second phase/space (its per-value error factors);
+// only the per-key ACCU finish uses the second fold.
+const (
+	DistPhaseMain = 0
+	DistPhaseEps  = 1
+
+	DistSpaceMain = 0
+	DistSpaceEps  = 1
+
+	DistFoldTrust    = 0
+	DistFoldAccuMean = 1
+)
+
+// DistPeer is one worker's view of a fusion round. trust and byKey carry
+// the coordinator's current trust state into phases and trust-reading
+// folds; acc is the running fold accumulator, threaded through the
+// workers in ascending shard order and returned updated.
+type DistPeer interface {
+	Phase(step int, trust []float64, byKey [][]float64) error
+	MinMax(space int) (lo, hi float64, err error)
+	Rescale(space int, lo, hi float64) error
+	Fold(fold int, trust []float64, byKey [][]float64, acc [][]float64) ([][]float64, error)
+}
+
+// BuildShardedOwned builds the shard problems of shards [lo, hi) only —
+// one worker's owned slice of the spec. Range sharding is required: the
+// owned item set must be a contiguous run of global item order so that
+// chaining workers in shard order reproduces the flat fold association.
+// The assembled ClaimsPerSource covers only the owned shards; distributed
+// runs use the coordinator's global sum instead (NewDistExec).
+func BuildShardedOwned(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID,
+	spec model.ShardSpec, needs BuildOptions, lo, hi int) (*ShardedProblem, error) {
+
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind != model.ShardByRange {
+		return nil, fmt.Errorf("fusion: distributed workers need range sharding (worker order must equal item order), got %v", spec.Kind)
+	}
+	if lo < 0 || hi > spec.Shards || lo >= hi {
+		return nil, fmt.Errorf("fusion: owned shard range [%d, %d) outside [0, %d)", lo, hi, spec.Shards)
+	}
+	if sources == nil {
+		sources = DefaultRoster(ds)
+	}
+	snaps, err := snap.Shard(spec)
+	if err != nil {
+		return nil, err
+	}
+	sp := &ShardedProblem{
+		Spec:      spec,
+		SourceIDs: sources,
+		NumAttrs:  len(ds.Attrs),
+		ds:        ds,
+		needs:     needs,
+	}
+	for k := lo; k < hi; k++ {
+		p := Build(ds, snaps[k], sources, needs)
+		pt := &shardPart{snap: snaps[k], resident: true, p: p}
+		recordPart(pt, p)
+		sp.parts = append(sp.parts, pt)
+	}
+	sp.finishAssembly()
+	return sp, nil
+}
+
+// ApplyShardDeltas advances the shard set one delta step: deltas[k] is
+// shard k's slice of a Delta.Split (nil or empty deltas leave the shard's
+// claims untouched, carrying its arena forward; non-empty ones rebuild
+// the shard problem deterministically). The cross-shard structures are
+// re-derived afterwards, so the next run sees the updated snapshot — the
+// distributed ingest path re-runs fusion in full, which stays
+// bit-identical to flat Fuse of the advanced snapshot.
+func (sp *ShardedProblem) ApplyShardDeltas(deltas []*model.Delta) error {
+	if len(deltas) != len(sp.parts) {
+		return fmt.Errorf("fusion: %d shard deltas for %d owned shards", len(deltas), len(sp.parts))
+	}
+	for k, dl := range deltas {
+		if dl == nil {
+			continue
+		}
+		pt := sp.parts[k]
+		ns, err := pt.snap.Apply(dl)
+		if err != nil {
+			return fmt.Errorf("fusion: shard %d delta: %w", k, err)
+		}
+		if dl.Empty() {
+			npt := pt.carryForward()
+			npt.snap = ns
+			sp.parts[k] = npt
+			continue
+		}
+		p := Build(sp.ds, ns, sp.SourceIDs, sp.needs)
+		npt := &shardPart{snap: ns, resident: true, p: p}
+		recordPart(npt, p)
+		sp.parts[k] = npt
+	}
+	sp.finishAssembly()
+	return nil
+}
+
+// distKind selects a method's distributed phase/fold wiring.
+type distKind int
+
+const (
+	dkVote distKind = iota
+	dkHub
+	dkAvgLog
+	dkInvest
+	dkPooledInvest
+	dkCosine
+	dkTwoEst
+	dkThreeEst
+	dkTF
+	dkAccu
+)
+
+// distCheck validates that the method and options have a distributed
+// runner. Externally supplied trust and known copier groups are rejected
+// (they are offline-analysis inputs, not serving inputs); ACCUCOPY's
+// global copy detection, the per-category ACCU key space (numbered by
+// global first appearance) and ENSEMBLE are not decomposed.
+func distCheck(m Method, opts Options) (distKind, accuConfig, error) {
+	if opts.InputTrust != nil || opts.InputAttrTrust != nil || opts.InitialTrust != nil || opts.KnownGroups != nil {
+		return 0, accuConfig{}, fmt.Errorf("fusion: distributed %s does not support externally supplied trust or known copier groups", m.Name())
+	}
+	switch m.(type) {
+	case Vote:
+		return dkVote, accuConfig{}, nil
+	case Hub:
+		return dkHub, accuConfig{}, nil
+	case AvgLog:
+		return dkAvgLog, accuConfig{}, nil
+	case Invest:
+		return dkInvest, accuConfig{}, nil
+	case PooledInvest:
+		return dkPooledInvest, accuConfig{}, nil
+	case Cosine:
+		return dkCosine, accuConfig{}, nil
+	case TwoEstimates:
+		return dkTwoEst, accuConfig{}, nil
+	case ThreeEstimates:
+		return dkThreeEst, accuConfig{}, nil
+	case TruthFinder:
+		return dkTF, accuConfig{}, nil
+	default:
+		if ac, ok := m.(accuConfigured); ok {
+			cfg := ac.accuCfg()
+			if cfg.perCat {
+				return 0, accuConfig{}, fmt.Errorf("fusion: method %s has no distributed runner (per-category trust keys are numbered globally)", m.Name())
+			}
+			return dkAccu, cfg, nil
+		}
+		return 0, accuConfig{}, fmt.Errorf("fusion: method %s has no distributed runner", m.Name())
+	}
+}
+
+// DistExec executes one worker's side of the DistPeer protocol over its
+// owned shard problems: phases write the persistent per-shard score
+// spaces, folds walk the owned items in ascending global order, and the
+// per-method state (spaces, posteriors, chosen buckets) survives between
+// calls so LocalResult can render the worker's answers after the run.
+type DistExec struct {
+	sp   *ShardedProblem
+	kind distKind
+	cfg  accuConfig
+	opts Options
+	name string
+
+	spaces []voteSpace // main score space (votes for INVEST); nil for VOTE
+	eps    []voteSpace // 3-ESTIMATES error-factor space
+	aux    []voteSpace // INVEST invested space
+	temps  []workerRows
+
+	// ACCU family state.
+	probs   [][]float64
+	chosen  []int32
+	numKeys int
+	keyAt   func(k int, p *Problem, i int) int32
+	logN    float64
+
+	// cps is the global per-source claim count (the coordinator's sum),
+	// read by the INVEST kernels in place of the owned-subset counts.
+	cps []int
+}
+
+// NewDistExec prepares a worker executor for one method run. globalCPS is
+// the coordinator's cross-worker claim-count sum (nil: use the problem's
+// own counts — the single-worker/loopback case).
+func NewDistExec(sp *ShardedProblem, m Method, opts Options, globalCPS []int) (*DistExec, error) {
+	kind, cfg, err := distCheck(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	e := &DistExec{sp: sp, kind: kind, cfg: cfg, opts: opts, name: m.Name(), cps: globalCPS}
+	if e.cps == nil {
+		e.cps = sp.ClaimsPerSource
+	}
+	switch kind {
+	case dkVote:
+		// The dominant bucket is bucket 0; no rounds, no state.
+	case dkHub, dkAvgLog, dkTwoEst:
+		e.spaces = sp.newSpaces()
+	case dkInvest, dkPooledInvest:
+		e.spaces = sp.newSpaces()
+		e.aux = sp.newSpaces()
+	case dkCosine, dkTF:
+		e.spaces = sp.newSpaces()
+		e.temps = sp.newPartTemps(opts.Parallelism)
+	case dkThreeEst:
+		e.spaces = sp.newSpaces()
+		e.eps = sp.newSpaces()
+		for k := range e.eps {
+			for i := range e.eps[k].flat {
+				e.eps[k].flat[i] = 0.4
+			}
+		}
+	case dkAccu:
+		e.temps = sp.newPartTemps(opts.Parallelism)
+		e.numKeys, e.keyAt = shardedKeySetup(sp, cfg)
+		e.logN = math.Log(opts.NFalse)
+		e.probs = make([][]float64, sp.NumItems())
+		partRows := make([][][]float64, len(sp.parts))
+		for k, pt := range sp.parts {
+			flat := make([]float64, pt.numBuckets())
+			rows := make([][]float64, len(pt.items))
+			for i := range rows {
+				rows[i] = flat[pt.off[i]:pt.off[i+1]:pt.off[i+1]]
+			}
+			partRows[k] = rows
+		}
+		sp.walk(func(k, i, g int) { e.probs[g] = partRows[k][i] })
+		e.chosen = make([]int32, sp.NumItems())
+	}
+	return e, nil
+}
+
+// Phase runs one per-item scoring pass over the owned shards — the same
+// closures the sharded drivers sweep, with the coordinator's trust state.
+func (e *DistExec) Phase(step int, trust []float64, byKey [][]float64) error {
+	par := e.opts.Parallelism
+	switch e.kind {
+	case dkHub, dkAvgLog:
+		e.sp.sweep(par, func(k int, p *Problem, par int) {
+			parallel.For(len(p.Items), par, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					voteMassItem(&p.Items[i], trust, e.spaces[k].row(i))
+				}
+			})
+		}, nil)
+	case dkInvest, dkPooledInvest:
+		pooled := e.kind == dkPooledInvest
+		e.sp.sweep(par, func(k int, p *Problem, par int) {
+			parallel.For(len(p.Items), par, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					investItem(&p.Items[i], trust, e.cps, e.spaces[k].row(i), e.aux[k].row(i), pooled)
+				}
+			})
+		}, nil)
+	case dkCosine:
+		e.sp.sweep(par, func(k int, p *Problem, par int) {
+			parallel.ForWorker(len(p.Items), innerWorkers(par, e.temps[k]), func(worker, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					cosineScoreItem(&p.Items[i], trust, e.spaces[k].row(i), e.temps[k].rows[worker])
+				}
+			})
+		}, nil)
+	case dkTwoEst:
+		e.sp.sweep(par, func(k int, p *Problem, par int) {
+			parallel.For(len(p.Items), par, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					twoEstVoteItem(&p.Items[i], trust, e.spaces[k].row(i))
+				}
+			})
+		}, nil)
+	case dkThreeEst:
+		if step == DistPhaseEps {
+			e.sp.sweep(par, func(k int, p *Problem, par int) {
+				parallel.For(len(p.Items), par, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						threeEstEpsItem(&p.Items[i], trust, e.spaces[k].row(i), e.eps[k].row(i))
+					}
+				})
+			}, nil)
+			return nil
+		}
+		e.sp.sweep(par, func(k int, p *Problem, par int) {
+			parallel.For(len(p.Items), par, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					threeEstSigmaItem(&p.Items[i], trust, e.spaces[k].row(i), e.eps[k].row(i))
+				}
+			})
+		}, nil)
+	case dkTF:
+		e.sp.sweep(par, func(k int, p *Problem, par int) {
+			parallel.ForWorker(len(p.Items), innerWorkers(par, e.temps[k]), func(worker, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					tfConfItem(&p.Items[i], p.Sim[i], trust, e.spaces[k].row(i), e.temps[k].rows[worker])
+				}
+			})
+		}, nil)
+	case dkAccu:
+		at := &accuTrust{keyed: e.numKeys > 0, global: trust, byKey: byKey}
+		e.sp.sweep(par, func(k int, p *Problem, par int) {
+			gi := e.sp.parts[k].gidx
+			parallel.ForWorker(len(p.Items), innerWorkers(par, e.temps[k]), func(worker, lo, hi int) {
+				tmp := e.temps[k].rows[worker]
+				for i := lo; i < hi; i++ {
+					g := gi[i]
+					e.chosen[g] = accuPosterior(p, i, e.opts, e.cfg, at, e.keyAt(k, p, i), e.logN, nil, e.probs[g], tmp)
+				}
+			})
+		}, nil)
+	default:
+		return fmt.Errorf("fusion: phase %d not defined for %s", step, e.name)
+	}
+	return nil
+}
+
+// distSpace resolves a space selector to the executor's score spaces.
+func (e *DistExec) distSpace(space int) ([]voteSpace, error) {
+	switch space {
+	case DistSpaceMain:
+		if e.spaces == nil {
+			return nil, fmt.Errorf("fusion: %s has no score space", e.name)
+		}
+		return e.spaces, nil
+	case DistSpaceEps:
+		if e.eps == nil {
+			return nil, fmt.Errorf("fusion: %s has no error-factor space", e.name)
+		}
+		return e.eps, nil
+	}
+	return nil, fmt.Errorf("fusion: unknown space %d", space)
+}
+
+// MinMax returns the worker's score extrema — one side of the global
+// 2-/3-ESTIMATES rescale (min/max combine exactly across workers).
+func (e *DistExec) MinMax(space int) (lo, hi float64, err error) {
+	spaces, err := e.distSpace(space)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi = flatMinMax(nil)
+	for k := range spaces {
+		l, h := flatMinMax(spaces[k].flat)
+		if l < lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	return lo, hi, nil
+}
+
+// Rescale applies the coordinator's global [0,1] rescale to the worker's
+// scores — element-wise, so the split across workers changes nothing.
+func (e *DistExec) Rescale(space int, lo, hi float64) error {
+	spaces, err := e.distSpace(space)
+	if err != nil {
+		return err
+	}
+	for k := range spaces {
+		xs := spaces[k].flat
+		parallel.For(len(xs), e.opts.Parallelism, func(a, b int) {
+			rescaleSpan(xs[a:b], lo, hi)
+		})
+	}
+	return nil
+}
+
+// Fold folds the worker's items into the running accumulator in ascending
+// global item order and returns it — one link of the cross-worker fold
+// chain. The accumulator layout is per-method (see DistRun).
+func (e *DistExec) Fold(fold int, trust []float64, byKey [][]float64, acc [][]float64) ([][]float64, error) {
+	bad := func(want int) ([][]float64, error) {
+		return nil, fmt.Errorf("fusion: fold %d for %s needs %d accumulators, got %d", fold, e.name, want, len(acc))
+	}
+	if fold == DistFoldAccuMean {
+		if e.kind != dkAccu || e.numKeys == 0 {
+			return nil, fmt.Errorf("fusion: fold %d not defined for %s", fold, e.name)
+		}
+		if len(acc) != 2 {
+			return bad(2)
+		}
+		e.sp.sweep(1, nil, func(k int, p *Problem, i, g int) {
+			accuMeanFold(&p.Items[i], e.keyAt(k, p, i), byKey, acc[0], acc[1])
+		})
+		return acc, nil
+	}
+	switch e.kind {
+	case dkHub, dkAvgLog:
+		if len(acc) != 1 {
+			return bad(1)
+		}
+		e.sp.sweep(1, nil, func(k int, p *Problem, i, g int) {
+			voteMassFold(&p.Items[i], e.spaces[k].row(i), acc[0])
+		})
+	case dkInvest, dkPooledInvest:
+		if len(acc) != 1 {
+			return bad(1)
+		}
+		e.sp.sweep(1, nil, func(k int, p *Problem, i, g int) {
+			investFold(&p.Items[i], trust, e.cps, e.spaces[k].row(i), e.aux[k].row(i), acc[0])
+		})
+	case dkCosine:
+		if len(acc) != 3 {
+			return bad(3)
+		}
+		e.sp.sweep(1, nil, func(k int, p *Problem, i, g int) {
+			cosineFold(&p.Items[i], e.spaces[k].row(i), acc[0], acc[1], acc[2])
+		})
+	case dkTwoEst:
+		if len(acc) != 2 {
+			return bad(2)
+		}
+		e.sp.sweep(1, nil, func(k int, p *Problem, i, g int) {
+			twoEstFold(&p.Items[i], e.spaces[k].row(i), acc[0], acc[1])
+		})
+	case dkThreeEst:
+		if len(acc) != 2 {
+			return bad(2)
+		}
+		e.sp.sweep(1, nil, func(k int, p *Problem, i, g int) {
+			threeEstFold(&p.Items[i], e.spaces[k].row(i), e.eps[k].row(i), acc[0], acc[1])
+		})
+	case dkTF:
+		if len(acc) != 2 {
+			return bad(2)
+		}
+		e.sp.sweep(1, nil, func(k int, p *Problem, i, g int) {
+			tfFold(&p.Items[i], e.spaces[k].row(i), acc[0], acc[1])
+		})
+	case dkAccu:
+		if len(acc) != 2 {
+			return bad(2)
+		}
+		e.sp.sweep(1, nil, func(k int, p *Problem, i, g int) {
+			if e.numKeys > 0 {
+				accuFoldKeyed(&p.Items[i], int(e.keyAt(k, p, i)), e.numKeys, e.probs[g], acc[0], acc[1])
+			} else {
+				accuFoldGlobal(&p.Items[i], e.probs[g], acc[0], acc[1])
+			}
+		})
+	default:
+		return nil, fmt.Errorf("fusion: fold %d not defined for %s", fold, e.name)
+	}
+	return acc, nil
+}
+
+// Problem returns the owned shard problem (for answer rendering).
+func (e *DistExec) Problem() *ShardedProblem { return e.sp }
+
+// LocalResult assembles the worker's slice of the global result: its
+// items' chosen buckets (and posteriors for the ACCU family) under the
+// coordinator's converged trust. Concatenating the workers' answers in
+// shard order reproduces the flat result exactly.
+func (e *DistExec) LocalResult(trust []float64, attrTrust [][]float64, rounds int, converged bool) *Result {
+	res := &Result{
+		Method:    e.name,
+		Trust:     trust,
+		AttrTrust: attrTrust,
+		Rounds:    rounds,
+		Converged: converged,
+	}
+	switch e.kind {
+	case dkVote:
+		res.Chosen = make([]int32, e.sp.NumItems())
+	case dkAccu:
+		res.Chosen = e.chosen
+		res.Posteriors = e.probs
+	default:
+		res.Chosen = chooseSharded(e.sp, e.spaces)
+	}
+	return res
+}
+
+// DistResult is a distributed run's outcome: the converged global trust
+// state plus the coordinator's timing split (concurrent phase/rescale
+// broadcasts vs the sequential cross-worker fold chain).
+type DistResult struct {
+	Method    string
+	Trust     []float64
+	AttrTrust [][]float64
+	Rounds    int
+	Converged bool
+	Elapsed   time.Duration
+	Broadcast time.Duration // cumulative wall time of concurrent phase/rescale broadcasts
+	Gather    time.Duration // cumulative wall time of the sequential fold chains
+}
+
+// distDriver carries the coordinator loop's shared machinery.
+type distDriver struct {
+	peers []DistPeer
+	opts  Options
+	res   *DistResult
+}
+
+// broadcastPhase runs one phase step on every peer concurrently — phases
+// touch only worker-local state, so order does not matter.
+func (d *distDriver) broadcastPhase(step int, trust []float64, byKey [][]float64) error {
+	return d.broadcast(func(p DistPeer) error { return p.Phase(step, trust, byKey) })
+}
+
+func (d *distDriver) broadcast(f func(p DistPeer) error) error {
+	start := time.Now()
+	defer func() { d.res.Broadcast += time.Since(start) }()
+	errs := make([]error, len(d.peers))
+	var wg sync.WaitGroup
+	for i, p := range d.peers {
+		wg.Add(1)
+		go func(i int, p DistPeer) {
+			defer wg.Done()
+			errs[i] = f(p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rescale runs the global [0,1] renormalisation: gather every worker's
+// extrema, combine (exact — min/max have no association sensitivity),
+// broadcast the rescale. Mirrors rescaleParts, including its no-op when
+// the scores are degenerate.
+func (d *distDriver) rescale(space int) error {
+	lo, hi := flatMinMax(nil)
+	var mu sync.Mutex
+	err := d.broadcast(func(p DistPeer) error {
+		l, h, err := p.MinMax(space)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if l < lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if hi <= lo {
+		return nil
+	}
+	return d.broadcast(func(p DistPeer) error { return p.Rescale(space, lo, hi) })
+}
+
+// foldChain threads the accumulator through the peers in ascending shard
+// order — the sequential global-item-order trust merge. The caller's acc
+// buffers hold the final fold when it returns: an in-process peer mutates
+// them in place, but a remote peer answers with freshly decoded slices,
+// so the chain's outcome is copied back rather than assumed aliased.
+func (d *distDriver) foldChain(fold int, trust []float64, byKey [][]float64, acc [][]float64) error {
+	start := time.Now()
+	defer func() { d.res.Gather += time.Since(start) }()
+	cur := acc
+	for _, p := range d.peers {
+		var err error
+		cur, err = p.Fold(fold, trust, byKey, cur)
+		if err != nil {
+			return err
+		}
+		if len(cur) != len(acc) {
+			return fmt.Errorf("fusion: fold %d returned %d accumulators, want %d", fold, len(cur), len(acc))
+		}
+	}
+	for i := range acc {
+		if len(cur[i]) != len(acc[i]) {
+			return fmt.Errorf("fusion: fold %d accumulator %d came back with %d entries, want %d",
+				fold, i, len(cur[i]), len(acc[i]))
+		}
+		copy(acc[i], cur[i])
+	}
+	return nil
+}
+
+// DistRun drives one method to convergence over the peers, which must be
+// ordered by ascending owned shard range and together cover every shard
+// exactly once. n is the shared roster size, numAttrs the dataset's
+// attribute count (the per-attribute ACCU key space), cps the global
+// per-source claim counts (the sum of the workers' local counts). The
+// returned trust state is bit-identical to flat Fuse on the union
+// snapshot; per-worker answers come from DistExec.LocalResult.
+func DistRun(m Method, opts Options, peers []DistPeer, n, numAttrs int, cps []int) (*DistResult, error) {
+	kind, cfg, err := distCheck(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("fusion: distributed %s needs at least one worker", m.Name())
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	res := &DistResult{Method: m.Name()}
+	d := &distDriver{peers: peers, opts: opts, res: res}
+
+	finish := func(trust []float64, converged bool) (*DistResult, error) {
+		res.Trust = trust
+		res.Converged = converged
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	switch kind {
+	case dkVote:
+		res.Rounds = 1
+		return finish(nil, true)
+
+	case dkHub, dkAvgLog:
+		trust := initTrust(n, nil, 1)
+		next := make([]float64, n)
+		mass := next
+		if kind == dkAvgLog {
+			mass = make([]float64, n)
+		}
+		for round := 1; ; round++ {
+			res.Rounds = round
+			clear(mass)
+			if err := d.broadcastPhase(DistPhaseMain, trust, nil); err != nil {
+				return nil, err
+			}
+			if err := d.foldChain(DistFoldTrust, nil, nil, [][]float64{mass}); err != nil {
+				return nil, err
+			}
+			if kind == dkAvgLog {
+				avgLogTail(cps, mass, next)
+			}
+			normalizeMax(next)
+			delta := maxDelta(trust, next)
+			trust, next = next, trust
+			if kind == dkHub {
+				mass = next
+			}
+			if delta < opts.Epsilon || round >= opts.MaxRounds {
+				return finish(trust, delta < opts.Epsilon)
+			}
+		}
+
+	case dkInvest, dkPooledInvest:
+		pooled := kind == dkPooledInvest
+		trust := initTrust(n, nil, 1)
+		next := make([]float64, n)
+		for round := 1; ; round++ {
+			res.Rounds = round
+			if err := d.broadcastPhase(DistPhaseMain, trust, nil); err != nil {
+				return nil, err
+			}
+			clear(next)
+			if err := d.foldChain(DistFoldTrust, trust, nil, [][]float64{next}); err != nil {
+				return nil, err
+			}
+			if !pooled {
+				normalizeMax(next)
+			}
+			delta := maxDelta(trust, next)
+			trust, next = next, trust
+			if delta < opts.Epsilon || round >= opts.MaxRounds {
+				return finish(trust, delta < opts.Epsilon)
+			}
+		}
+
+	case dkCosine:
+		trust := initTrust(n, nil, 0.5)
+		next := make([]float64, n)
+		num := make([]float64, n)
+		den := make([]float64, n)
+		cnt := make([]float64, n)
+		for round := 1; ; round++ {
+			res.Rounds = round
+			if err := d.broadcastPhase(DistPhaseMain, trust, nil); err != nil {
+				return nil, err
+			}
+			clear(num)
+			clear(den)
+			clear(cnt)
+			if err := d.foldChain(DistFoldTrust, nil, nil, [][]float64{num, den, cnt}); err != nil {
+				return nil, err
+			}
+			cosineTail(trust, num, den, cnt, next)
+			delta := maxDelta(trust, next)
+			trust, next = next, trust
+			if delta < opts.Epsilon || round >= opts.MaxRounds {
+				return finish(trust, delta < opts.Epsilon)
+			}
+		}
+
+	case dkTwoEst, dkThreeEst:
+		trust := initTrust(n, nil, 0.8)
+		next := make([]float64, n)
+		cnt := make([]float64, n)
+		for round := 1; ; round++ {
+			res.Rounds = round
+			if err := d.broadcastPhase(DistPhaseMain, trust, nil); err != nil {
+				return nil, err
+			}
+			if err := d.rescale(DistSpaceMain); err != nil {
+				return nil, err
+			}
+			if kind == dkThreeEst {
+				if err := d.broadcastPhase(DistPhaseEps, trust, nil); err != nil {
+					return nil, err
+				}
+				if err := d.rescale(DistSpaceEps); err != nil {
+					return nil, err
+				}
+			}
+			clear(next)
+			clear(cnt)
+			if err := d.foldChain(DistFoldTrust, nil, nil, [][]float64{next, cnt}); err != nil {
+				return nil, err
+			}
+			divideBy(next, cnt)
+			rescale01(next)
+			delta := maxDelta(trust, next)
+			trust, next = next, trust
+			if delta < opts.Epsilon || round >= opts.MaxRounds {
+				return finish(trust, delta < opts.Epsilon)
+			}
+		}
+
+	case dkTF:
+		tau := initTrust(n, nil, tfInitial)
+		next := make([]float64, n)
+		cnt := make([]float64, n)
+		for round := 1; ; round++ {
+			res.Rounds = round
+			if err := d.broadcastPhase(DistPhaseMain, tau, nil); err != nil {
+				return nil, err
+			}
+			clear(next)
+			clear(cnt)
+			if err := d.foldChain(DistFoldTrust, nil, nil, [][]float64{next, cnt}); err != nil {
+				return nil, err
+			}
+			tfTail(next, cnt)
+			delta := maxDelta(tau, next)
+			tau, next = next, tau
+			if delta < opts.Epsilon || round >= opts.MaxRounds {
+				return finish(tau, delta < opts.Epsilon)
+			}
+		}
+
+	case dkAccu:
+		numKeys := 0
+		if cfg.perAttr {
+			numKeys = numAttrs
+		}
+		trust := &accuTrust{keyed: numKeys > 0}
+		if trust.keyed {
+			trust.byKey = make([][]float64, n)
+			for s := 0; s < n; s++ {
+				trust.byKey[s] = make([]float64, numKeys)
+				for a := range trust.byKey[s] {
+					trust.byKey[s][a] = 0.8
+				}
+			}
+		} else {
+			trust.global = initTrust(n, nil, 0.8)
+		}
+		width := n
+		if numKeys > 0 {
+			width *= numKeys
+		}
+		sc := &accuScratch{next: make([]float64, width), cnt: make([]float64, width)}
+		for round := 1; ; round++ {
+			res.Rounds = round
+			if err := d.broadcastPhase(DistPhaseMain, trust.global, trust.byKey); err != nil {
+				return nil, err
+			}
+			clear(sc.next)
+			clear(sc.cnt)
+			if err := d.foldChain(DistFoldTrust, nil, nil, [][]float64{sc.next, sc.cnt}); err != nil {
+				return nil, err
+			}
+			var delta float64
+			if trust.keyed {
+				delta = accuKeyedTail(trust, numKeys, sc.next, sc.cnt)
+			} else {
+				delta = accuGlobalTail(trust, sc)
+			}
+			if delta < opts.Epsilon || round >= opts.MaxRounds {
+				res.Converged = delta < opts.Epsilon
+				break
+			}
+		}
+		if trust.keyed {
+			if cfg.perAttr {
+				res.AttrTrust = trust.byKey
+			}
+			res.Trust = make([]float64, n)
+			claims := make([]float64, n)
+			if err := d.foldChain(DistFoldAccuMean, nil, trust.byKey, [][]float64{res.Trust, claims}); err != nil {
+				return nil, err
+			}
+			for s := range res.Trust {
+				if claims[s] > 0 {
+					res.Trust[s] /= claims[s]
+				}
+			}
+		} else {
+			res.Trust = trust.global
+		}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	return nil, fmt.Errorf("fusion: method %s has no distributed runner", m.Name())
+}

@@ -101,10 +101,11 @@ func TestV1ErrorEnvelope(t *testing.T) {
 	}
 }
 
-// TestLegacyAliases: the pre-v1 unprefixed paths answer identically to
-// their /v1 twins for one release — except /claims, which never existed
-// unprefixed and must 404.
-func TestLegacyAliases(t *testing.T) {
+// TestLegacyPathsGone: the pre-v1 unprefixed paths are removed. They
+// answer an enveloped 410 pointing at the /v1 twin — not a silent 404,
+// so stale clients learn the new prefix — except /claims, which never
+// existed unprefixed and stays a plain 404.
+func TestLegacyPathsGone(t *testing.T) {
 	w := buildWorld(t)
 	r, srv := newRefresher(t, w, "Vote", false)
 	if _, err := r.Publish(); err != nil {
@@ -114,21 +115,27 @@ func TestLegacyAliases(t *testing.T) {
 	defer ts.Close()
 
 	for _, path := range []string{"/healthz", "/methods", "/answers", "/answers/obj00", "/trust", "/stats"} {
-		var legacy, v1 wireAnswers
-		getJSON(t, ts, path, http.StatusOK, &legacy)
-		getJSON(t, ts, "/v1"+path, http.StatusOK, &v1)
-		if legacy.Version != v1.Version || legacy.Count != v1.Count {
-			t.Fatalf("%s: legacy and /v1 payloads disagree", path)
+		resp := doReq(t, ts, http.MethodGet, path, "")
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("GET %s: status %d, want 410", path, resp.StatusCode)
+		}
+		var env envelope
+		decodeBody(t, resp, &env)
+		if env.Error.Code != "use_v1" {
+			t.Fatalf("GET %s: error code %q, want use_v1", path, env.Error.Code)
+		}
+		if !strings.Contains(env.Error.Message, "/v1"+path) {
+			t.Fatalf("GET %s: message %q does not name /v1%s", path, env.Error.Message, path)
 		}
 	}
 	wantEnvelope(t, ts, http.MethodPost, "/claims", `{"claims":[]}`, http.StatusNotFound, "not_found")
 
-	// /stats names the deprecation so operators learn about it.
+	// The deprecation note is gone from /v1/stats along with the aliases.
 	var stats map[string]any
 	getJSON(t, ts, "/v1/stats", http.StatusOK, &stats)
-	note, _ := stats["legacy_paths"].(string)
-	if !strings.Contains(note, "deprecated") {
-		t.Fatalf("stats legacy_paths = %q, want a deprecation note", note)
+	if _, ok := stats["legacy_paths"]; ok {
+		t.Fatal("stats still carries legacy_paths after alias removal")
 	}
 	if api, _ := stats["api"].(string); api != "v1" {
 		t.Fatalf("stats api = %q, want v1", api)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"truthdiscovery/internal/fusion"
 	"truthdiscovery/internal/model"
 	"truthdiscovery/internal/value"
 )
@@ -74,9 +75,26 @@ type pendingOp struct {
 	val     value.Value
 }
 
+// Applier is the engine-side flush contract: advance the fusion state
+// over one delta and publish the resulting view. A *Refresher applies it
+// to an in-process engine; the distributed coordinator fans the delta to
+// its shard workers and re-runs fusion across them.
+type Applier interface {
+	Apply(dl *model.Delta) (*View, fusion.IncrementalStats, error)
+}
+
+// FlushResult resolves one awaited enqueue: the view published by the
+// flush that drained it, or the flush error. A nil View with a nil Err
+// means the whole batch was a no-op against the base — the currently
+// served version already reflects it.
+type FlushResult struct {
+	View *View
+	Err  error
+}
+
 // Ingester is the live write path: it validates wire ops against the
 // dataset, coalesces them last-wins into a pending set, and flushes the
-// set as one model.Delta through the Refresher — the exact machinery the
+// set as one model.Delta through the Applier — the exact machinery the
 // daily pipeline uses, so a served answer after ingest is bit-identical
 // to an offline Fuse over the same claim set.
 //
@@ -87,7 +105,7 @@ type pendingOp struct {
 type Ingester struct {
 	cfg IngestConfig
 	ds  *model.Dataset
-	ref *Refresher
+	ref Applier
 
 	// Name-resolution indexes, built once (the dataset's own lookups are
 	// linear scans; the hot ingest path needs O(1)).
@@ -97,7 +115,8 @@ type Ingester struct {
 
 	mu        sync.Mutex
 	pending   map[opKey]pendingOp
-	oldest    time.Time // arrival of the first op in the current window
+	waiters   []chan FlushResult // one per awaited enqueue in the current window
+	oldest    time.Time          // arrival of the first op in the current window
 	notify    chan struct{}
 	closed    bool
 	batches   uint64
@@ -117,10 +136,10 @@ type Ingester struct {
 	done chan struct{}
 }
 
-// NewIngester wires an ingester over the refresher's engine. base must be
-// the snapshot the engine currently reflects (the refresher's day/label);
-// every flush advances both together.
-func NewIngester(ds *model.Dataset, ref *Refresher, base *model.Snapshot, cfg IngestConfig) *Ingester {
+// NewIngester wires an ingester over an applier's engine. base must be
+// the snapshot the engine currently reflects (the refresher's or
+// coordinator's day/label); every flush advances both together.
+func NewIngester(ds *model.Dataset, ref Applier, base *model.Snapshot, cfg IngestConfig) *Ingester {
 	ing := &Ingester{
 		cfg:        cfg.withDefaults(),
 		ds:         ds,
@@ -189,12 +208,25 @@ func (i *Ingester) resolve(op *ClaimOp) (opKey, pendingOp, error) {
 // would push the pending set past MaxPending is refused with 429. It
 // returns the pending-set size after the batch landed.
 func (i *Ingester) Enqueue(ops []ClaimOp) (int, error) {
+	n, _, err := i.enqueue(ops, false)
+	return n, err
+}
+
+// EnqueueWait is Enqueue plus a future: the returned channel resolves
+// (exactly once) when the flush that drains this batch publishes — or
+// fails. An awaited batch also nudges the flusher immediately, so the
+// caller never waits out the full batching window.
+func (i *Ingester) EnqueueWait(ops []ClaimOp) (int, <-chan FlushResult, error) {
+	return i.enqueue(ops, true)
+}
+
+func (i *Ingester) enqueue(ops []ClaimOp, wait bool) (int, <-chan FlushResult, error) {
 	keys := make([]opKey, len(ops))
 	resolved := make([]pendingOp, len(ops))
 	for n := range ops {
 		k, p, err := i.resolve(&ops[n])
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		keys[n], resolved[n] = k, p
 	}
@@ -202,14 +234,14 @@ func (i *Ingester) Enqueue(ops []ClaimOp) (int, error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if i.closed {
-		return 0, &IngestError{Status: http.StatusServiceUnavailable,
+		return 0, nil, &IngestError{Status: http.StatusServiceUnavailable,
 			Code: "shutting_down", Message: "the server is shutting down; claims are no longer accepted"}
 	}
 	// Worst-case growth check up front — every key new — so a refused
 	// batch leaves the pending set untouched.
 	if len(i.pending)+len(ops) > i.cfg.MaxPending {
 		i.rejected++
-		return len(i.pending), &IngestError{Status: http.StatusTooManyRequests,
+		return len(i.pending), nil, &IngestError{Status: http.StatusTooManyRequests,
 			Code:       "ingest_backlog",
 			Message:    fmt.Sprintf("%d claims pending and the fusion flusher is behind; retry shortly", len(i.pending)),
 			RetryAfter: "1"}
@@ -222,14 +254,21 @@ func (i *Ingester) Enqueue(ops []ClaimOp) (int, error) {
 	}
 	i.batches++
 	i.ops += uint64(len(ops))
+	var ch chan FlushResult
+	if wait {
+		// Buffered: the flush resolves waiters without blocking on a
+		// handler that already timed out or lost its client.
+		ch = make(chan FlushResult, 1)
+		i.waiters = append(i.waiters, ch)
+	}
 	n := len(i.pending)
-	if n >= i.cfg.MaxBatch {
+	if n >= i.cfg.MaxBatch || wait {
 		select {
 		case i.notify <- struct{}{}:
 		default:
 		}
 	}
-	return n, nil
+	return n, ch, nil
 }
 
 // Start launches the background flusher: it flushes when the pending set
@@ -281,46 +320,64 @@ func (i *Ingester) Close() error {
 }
 
 // Flush drains the pending set into one delta and applies it through the
-// refresher, publishing a new served version. A flush that finds nothing
+// applier, publishing a new served version. A flush that finds nothing
 // to change (all ops were no-ops against the base) publishes nothing.
+// Every waiter enqueued with the drained batch is resolved exactly once
+// — with the published view, the flush error, or a nil view for an
+// all-no-op batch.
 func (i *Ingester) Flush() error {
 	i.flushMu.Lock()
 	defer i.flushMu.Unlock()
 
 	i.mu.Lock()
-	if len(i.pending) == 0 {
+	if len(i.pending) == 0 && len(i.waiters) == 0 {
 		i.mu.Unlock()
 		return nil
 	}
 	batch := i.pending
 	i.pending = make(map[opKey]pendingOp)
+	waiters := i.waiters
+	i.waiters = nil
 	i.mu.Unlock()
+	// Waiters land under the same mu hold as their ops, so draining both
+	// together guarantees a waiter's batch is in the delta it awaits.
+	resolve := func(fr FlushResult) {
+		for _, ch := range waiters {
+			ch <- fr
+		}
+	}
 
 	dl, noops := i.buildDelta(batch)
 	if dl.Empty() {
 		i.mu.Lock()
 		i.noops += uint64(noops)
 		i.mu.Unlock()
+		resolve(FlushResult{})
 		return nil
 	}
 	next, err := i.base.Apply(dl)
+	var v *View
 	if err == nil {
-		_, _, err = i.ref.Apply(dl)
+		v, _, err = i.ref.Apply(dl)
 	}
 	i.mu.Lock()
-	defer i.mu.Unlock()
 	if err != nil {
-		// The batch is lost (it was built against a base the refresher no
+		// The batch is lost (it was built against a base the engine no
 		// longer reflects, or the engine refused it); record the failure
 		// loudly rather than retrying into the same mismatch forever.
 		i.flushErrs++
 		i.lastErr = err.Error()
-		return fmt.Errorf("serve: ingest flush: %w", err)
+		i.mu.Unlock()
+		err = fmt.Errorf("serve: ingest flush: %w", err)
+		resolve(FlushResult{Err: err})
+		return err
 	}
 	i.base = next
 	i.flushes++
 	i.noops += uint64(noops)
 	i.lastErr = ""
+	i.mu.Unlock()
+	resolve(FlushResult{View: v})
 	return nil
 }
 

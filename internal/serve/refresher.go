@@ -136,6 +136,10 @@ func (r *Refresher) Resume(run *store.Run) (*View, error) {
 	return v, nil
 }
 
+// The refresher is the in-process Applier behind the ingest flush path;
+// the distributed coordinator (internal/dist) is the other one.
+var _ Applier = (*Refresher)(nil)
+
 // Apply advances the engine over one delta, persists the new run and
 // swaps the served view. The delta must continue the engine's stream
 // (its FromDay is the day of the currently served state).

@@ -165,7 +165,7 @@ func TestEndpoints(t *testing.T) {
 		Status  string `json:"status"`
 		Version uint64 `json:"version"`
 	}
-	getJSON(t, ts, "/healthz", http.StatusOK, &health)
+	getJSON(t, ts, "/v1/healthz", http.StatusOK, &health)
 	if health.Status != "ok" || health.Version != 1 {
 		t.Fatalf("healthz: %+v", health)
 	}
@@ -174,23 +174,23 @@ func TestEndpoints(t *testing.T) {
 		Methods []string `json:"methods"`
 		Serving string   `json:"serving"`
 	}
-	getJSON(t, ts, "/methods", http.StatusOK, &methods)
+	getJSON(t, ts, "/v1/methods", http.StatusOK, &methods)
 	if len(methods.Methods) != 16 || methods.Serving != "AccuPr" {
 		t.Fatalf("methods: %d listed, serving %q", len(methods.Methods), methods.Serving)
 	}
 
 	want := expectedAnswers(t, w, "AccuPr", w.snaps[0])
 	var all wireAnswers
-	getJSON(t, ts, "/answers", http.StatusOK, &all)
+	getJSON(t, ts, "/v1/answers", http.StatusOK, &all)
 	if all.Version != 1 || all.Method != "AccuPr" || all.Label != "day0" {
 		t.Fatalf("answers header: %+v", all)
 	}
-	matchAnswers(t, "/answers", all, want)
+	matchAnswers(t, "/v1/answers", all, want)
 
 	var one wireAnswers
-	getJSON(t, ts, "/answers/obj07", http.StatusOK, &one)
-	matchAnswers(t, "/answers/obj07", one, want[7:8])
-	getJSON(t, ts, "/answers/no-such-object", http.StatusNotFound, nil)
+	getJSON(t, ts, "/v1/answers/obj07", http.StatusOK, &one)
+	matchAnswers(t, "/v1/answers/obj07", one, want[7:8])
+	getJSON(t, ts, "/v1/answers/no-such-object", http.StatusNotFound, nil)
 
 	var trust struct {
 		Version uint64 `json:"version"`
@@ -200,7 +200,7 @@ func TestEndpoints(t *testing.T) {
 			Trust float64 `json:"trust"`
 		} `json:"sources"`
 	}
-	getJSON(t, ts, "/trust", http.StatusOK, &trust)
+	getJSON(t, ts, "/v1/trust", http.StatusOK, &trust)
 	if len(trust.Sources) != 5 || trust.Sources[4].Name != "src4" {
 		t.Fatalf("trust: %+v", trust)
 	}
@@ -219,7 +219,7 @@ func TestEndpoints(t *testing.T) {
 		Requests uint64 `json:"requests"`
 		Swaps    uint64 `json:"swaps"`
 	}
-	getJSON(t, ts, "/stats", http.StatusOK, &stats)
+	getJSON(t, ts, "/v1/stats", http.StatusOK, &stats)
 	if stats.Version != 1 || stats.Items != 30 || stats.Sources != 5 || stats.Swaps != 1 || stats.Requests == 0 {
 		t.Fatalf("stats: %+v", stats)
 	}
@@ -249,7 +249,7 @@ func TestRefreshAdvancesAndPersists(t *testing.T) {
 	defer ts.Close()
 	want := expectedAnswers(t, w, "AccuPr", w.snaps[1])
 	var all wireAnswers
-	getJSON(t, ts, "/answers", http.StatusOK, &all)
+	getJSON(t, ts, "/v1/answers", http.StatusOK, &all)
 	if all.Version != 2 || all.Label != "day1" {
 		t.Fatalf("served version %d label %s", all.Version, all.Label)
 	}
@@ -374,7 +374,7 @@ func TestVoteHasNoTrust(t *testing.T) {
 	var trust struct {
 		Sources []json.RawMessage `json:"sources"`
 	}
-	getJSON(t, ts, "/trust", http.StatusOK, &trust)
+	getJSON(t, ts, "/v1/trust", http.StatusOK, &trust)
 	if trust.Sources != nil {
 		t.Fatalf("Vote served a trust vector: %v", trust.Sources)
 	}
@@ -384,11 +384,11 @@ func TestVoteHasNoTrust(t *testing.T) {
 func TestEmptyServer(t *testing.T) {
 	ts := httptest.NewServer(NewServer().Handler())
 	defer ts.Close()
-	for _, path := range []string{"/healthz", "/answers", "/answers/x", "/trust"} {
+	for _, path := range []string{"/v1/healthz", "/v1/answers", "/v1/answers/x", "/v1/trust"} {
 		getJSON(t, ts, path, http.StatusServiceUnavailable, nil)
 	}
-	getJSON(t, ts, "/methods", http.StatusOK, nil) // static roster stays up
-	getJSON(t, ts, "/stats", http.StatusOK, nil)
+	getJSON(t, ts, "/v1/methods", http.StatusOK, nil) // static roster stays up
+	getJSON(t, ts, "/v1/stats", http.StatusOK, nil)
 }
 
 // TestConcurrentReadersDuringSwap hammers the handler from many
@@ -421,7 +421,7 @@ func TestConcurrentReadersDuringSwap(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			paths := []string{"/answers", "/answers/obj04", "/trust", "/healthz", "/stats"}
+			paths := []string{"/v1/answers", "/v1/answers/obj04", "/v1/trust", "/v1/healthz", "/v1/stats"}
 			for i := 0; ; i++ {
 				select {
 				case <-stop:
@@ -436,7 +436,7 @@ func TestConcurrentReadersDuringSwap(t *testing.T) {
 					errs <- fmt.Errorf("reader %d: GET %s: status %d", g, path, rec.Code)
 					return
 				}
-				if path != "/answers" && path != "/answers/obj04" {
+				if path != "/v1/answers" && path != "/v1/answers/obj04" {
 					continue
 				}
 				var got wireAnswers
@@ -449,7 +449,7 @@ func TestConcurrentReadersDuringSwap(t *testing.T) {
 					errs <- fmt.Errorf("reader %d: torn label %q", g, got.Label)
 					return
 				}
-				if path == "/answers/obj04" {
+				if path == "/v1/answers/obj04" {
 					want = want[4:5]
 				}
 				if len(got.Answers) != len(want) {
@@ -499,7 +499,7 @@ func TestUnservableValueIs500(t *testing.T) {
 	}))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	for _, path := range []string{"/answers", "/answers/obj"} {
+	for _, path := range []string{"/v1/answers", "/v1/answers/obj"} {
 		resp, err := ts.Client().Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)

@@ -30,10 +30,16 @@ type Server struct {
 	swaps       atomic.Uint64
 	lastSwap    atomic.Int64 // unix seconds of the latest swap
 	started     time.Time
+	topo        atomic.Pointer[Topology]
+	extraStats  atomic.Pointer[func() map[string]any]
 
 	// ing, when set before Handler is used, enables POST /v1/claims.
 	ing *Ingester
 }
+
+// SetExtraStats contributes additional top-level /v1/stats entries —
+// the distributed coordinator reports its round/broadcast timings here.
+func (s *Server) SetExtraStats(fn func() map[string]any) { s.extraStats.Store(&fn) }
 
 // NewServer returns an empty server; Swap publishes the first view.
 func NewServer() *Server {
@@ -94,20 +100,27 @@ func answerToJSON(a *fusion.Answer) answerJSON {
 //	GET  /v1/answers            every fused answer (ETag/If-None-Match)
 //	GET  /v1/answers/{object}   one object's answers (404 when unknown)
 //	GET  /v1/trust              the per-source trust vector (ETag)
-//	GET  /v1/stats              serving + ingest counters
+//	GET  /v1/stats              serving + ingest counters + topology
 //	POST /v1/claims             batched claim upserts/retractions
+//	                            (?wait=1 or Prefer: wait blocks until
+//	                            the batch's delta publishes)
 //
-// The pre-v1 unprefixed paths are served as deprecated aliases for one
-// release (/stats says so); /v1/claims has no alias — it never existed
-// unprefixed. Errors are a uniform JSON envelope
-// {"error":{"code","message"}}; wrong methods answer 405 with an Allow
-// header, unknown paths and objects 404.
+// The pre-v1 unprefixed paths, kept as deprecated aliases for one
+// release, are gone: they answer 410 with the error envelope and a
+// use_v1 code naming the /v1 replacement. Errors are a uniform JSON
+// envelope {"error":{"code","message"}}; wrong methods answer 405 with
+// an Allow header, unknown paths and objects 404.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	register := func(path string, method string, h http.HandlerFunc) {
 		mux.HandleFunc("/v1"+path, s.allow(method, h))
 		if path != "/claims" {
-			mux.HandleFunc(path, s.allow(method, h)) // deprecated alias
+			// The removed pre-v1 alias: a machine-matchable pointer to
+			// the /v1 path, not a silent 404.
+			mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+				writeError(w, http.StatusGone, "use_v1",
+					"the unprefixed paths were removed; use /v1"+r.URL.Path)
+			})
 		}
 	}
 	register("/healthz", http.MethodGet, s.handleHealthz)
@@ -342,11 +355,28 @@ func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// flushWaitTimeout bounds an awaited claim post: if the flusher cannot
+// publish the batch's delta within it, the client gets a 504 (the batch
+// itself stays enqueued and will still publish).
+const flushWaitTimeout = 30 * time.Second
+
+// wantsWait reports whether a claims post asked to block until its batch
+// publishes: ?wait=1 or an RFC 7240 Prefer header containing "wait".
+func wantsWait(r *http.Request) bool {
+	if r.URL.Query().Get("wait") == "1" {
+		return true
+	}
+	return strings.Contains(strings.ToLower(r.Header.Get("Prefer")), "wait")
+}
+
 // handleClaims is the live write path: a batch of claim upserts and
 // retractions, validated and enqueued for the next ingest flush. The
-// whole batch is accepted (202) or rejected — nothing is partially
-// enqueued. When the flusher has fallen behind the pending bound, the
-// answer is 429 with Retry-After, not a silently growing queue.
+// whole batch is accepted or rejected — nothing is partially enqueued.
+// Plain posts answer 202 fire-and-forget; ?wait=1 (or Prefer: wait)
+// blocks until the batch's delta publishes and answers 200 with the
+// published version and its ETag, so the client can read its writes.
+// When the flusher has fallen behind the pending bound, the answer is
+// 429 with Retry-After, not a silently growing queue.
 func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 	ing := s.ing
 	if ing == nil {
@@ -367,7 +397,17 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty_batch", `the "claims" array is empty`)
 		return
 	}
-	pending, err := ing.Enqueue(req.Claims)
+	wait := wantsWait(r)
+	var (
+		pending int
+		flushed <-chan FlushResult
+		err     error
+	)
+	if wait {
+		pending, flushed, err = ing.EnqueueWait(req.Claims)
+	} else {
+		pending, err = ing.Enqueue(req.Claims)
+	}
 	if err != nil {
 		var ierr *IngestError
 		if errors.As(err, &ierr) {
@@ -380,10 +420,41 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{
-		"accepted": len(req.Claims),
-		"pending":  pending,
-	})
+	if !wait {
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"accepted": len(req.Claims),
+			"pending":  pending,
+		})
+		return
+	}
+	select {
+	case fr := <-flushed:
+		if fr.Err != nil {
+			writeError(w, http.StatusInternalServerError, "flush_failed", fr.Err.Error())
+			return
+		}
+		v := fr.View
+		if v == nil {
+			// The whole batch was a no-op against the base; the currently
+			// served version already reflects it.
+			v = s.view.Load()
+		}
+		if v == nil {
+			writeError(w, http.StatusServiceUnavailable, "no_view", "no fused run is being served yet")
+			return
+		}
+		w.Header().Set("ETag", v.ETag())
+		writeJSON(w, http.StatusOK, map[string]any{
+			"accepted": len(req.Claims),
+			"version":  v.Version,
+			"etag":     v.ETag(),
+		})
+	case <-r.Context().Done():
+		// Client gone; the batch still publishes, there is nobody to tell.
+	case <-time.After(flushWaitTimeout):
+		writeError(w, http.StatusGatewayTimeout, "flush_timeout",
+			"the batch is enqueued but its flush did not publish in time")
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -393,9 +464,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"swaps":          s.swaps.Load(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"api":            "v1",
-		// The pre-v1 unprefixed paths still answer, but are deprecated
-		// and will be removed one release after the /v1 surface landed.
-		"legacy_paths": "deprecated aliases of /v1/*; migrate to the /v1 prefix",
+		"topology":       s.Topology(),
 	}
 	if last := s.lastSwap.Load(); last != 0 {
 		out["last_swap_unix"] = last
@@ -414,6 +483,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		out["ingest"] = ing.Stats()
 	} else {
 		out["ingest"] = map[string]any{"enabled": false}
+	}
+	if fn := s.extraStats.Load(); fn != nil {
+		for k, v := range (*fn)() {
+			out[k] = v
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,45 @@
+package serve
+
+// The topology object is part of the v1 stats contract: every server
+// reports how its fusion engine is laid out under a stable shape, so
+// operators and routers read one field instead of mode-specific ad-hoc
+// keys. Modes: "flat" (one in-process engine, the default), "sharded"
+// (one process, partitioned arenas), "distributed" (shards owned by
+// worker processes behind the scatter-gather router — the workers list
+// carries per-worker address, owned shard range, liveness and the last
+// version each worker published).
+
+// WorkerStatus is one shard worker's row in a distributed topology.
+type WorkerStatus struct {
+	Index int    `json:"index"`
+	Addr  string `json:"addr"`
+	// Shards is the owned shard range [lo, hi).
+	Shards  [2]int `json:"shards"`
+	Healthy bool   `json:"healthy"`
+	Version uint64 `json:"version"`
+}
+
+// Topology describes the serving engine's layout for /v1/stats.
+type Topology struct {
+	// Mode is "flat", "sharded" or "distributed".
+	Mode string `json:"mode"`
+	// Shards and Kind are the shard spec (absent in flat mode).
+	Shards int    `json:"shards,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	// MaxResident is the sharded engine's arena budget (0 = all resident).
+	MaxResident int `json:"max_resident_shards,omitempty"`
+	// Workers lists the shard workers (distributed mode only).
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
+// SetTopology publishes the server's engine layout for /v1/stats. Safe
+// to call while serving (a router refreshes worker health in place).
+func (s *Server) SetTopology(t Topology) { s.topo.Store(&t) }
+
+// Topology returns the published layout, defaulting to flat mode.
+func (s *Server) Topology() Topology {
+	if t := s.topo.Load(); t != nil {
+		return *t
+	}
+	return Topology{Mode: "flat"}
+}

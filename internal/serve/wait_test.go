@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitAck is the 200 body of an awaited claims post.
+type waitAck struct {
+	Accepted int    `json:"accepted"`
+	Version  uint64 `json:"version"`
+	ETag     string `json:"etag"`
+}
+
+func postClaimsWait(t *testing.T, ts *httptest.Server, path, body string, hdr map[string]string) (*http.Response, waitAck) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack waitAck
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, ack
+}
+
+// TestClaimsWaitPublishes: ?wait=1 (and Prefer: wait) block the claims
+// post until its batch's delta publishes and answer 200 carrying the
+// published version and its ETag — read-your-writes without polling. A
+// no-op batch still answers 200 with the already-served version, and a
+// plain post keeps the 202 fire-and-forget contract.
+func TestClaimsWaitPublishes(t *testing.T) {
+	_, ing, _, ts := armIngest(t, "Vote", IngestConfig{MaxBatch: 1 << 20, MaxAge: time.Hour})
+	ing.Start()
+	t.Cleanup(func() { _ = ing.Close() })
+
+	// ?wait=1 resolves with the version its flush published.
+	resp, ack := postClaimsWait(t, ts, "/v1/claims?wait=1",
+		`{"claims":[{"source":"src0","object":"obj01","attribute":"price","value":"99.5"}]}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("awaited post: status %d, want 200", resp.StatusCode)
+	}
+	if ack.Accepted != 1 || ack.Version != 2 {
+		t.Fatalf("awaited ack %+v, want 1 accepted at version 2", ack)
+	}
+	if ack.ETag == "" || ack.ETag != resp.Header.Get("ETag") {
+		t.Fatalf("awaited ack etag %q vs header %q", ack.ETag, resp.Header.Get("ETag"))
+	}
+
+	// The served answers already reflect the awaited write.
+	var wire wireAnswers
+	getJSON(t, ts, "/v1/answers", http.StatusOK, &wire)
+	if wire.Version != 2 {
+		t.Fatalf("served version %d after awaited post, want 2", wire.Version)
+	}
+
+	// Prefer: wait is the header spelling of the same contract.
+	resp, ack = postClaimsWait(t, ts, "/v1/claims",
+		`{"claims":[{"source":"src1","object":"obj02","attribute":"price","value":"77.25"}]}`,
+		map[string]string{"Prefer": "wait"})
+	if resp.StatusCode != http.StatusOK || ack.Version != 3 {
+		t.Fatalf("Prefer: wait post: status %d version %d, want 200 at version 3", resp.StatusCode, ack.Version)
+	}
+
+	// Re-asserting the identical value is an all-no-op batch: nothing
+	// publishes, and the answer carries the version already served.
+	resp, ack = postClaimsWait(t, ts, "/v1/claims?wait=1",
+		`{"claims":[{"source":"src1","object":"obj02","attribute":"price","value":"77.25"}]}`, nil)
+	if resp.StatusCode != http.StatusOK || ack.Version != 3 {
+		t.Fatalf("no-op awaited post: status %d version %d, want 200 at version 3", resp.StatusCode, ack.Version)
+	}
+
+	// A plain post still answers 202 without blocking.
+	plain := postClaims(t, ts,
+		`{"claims":[{"source":"src2","object":"obj03","attribute":"price","value":"55.75"}]}`)
+	plain.Body.Close()
+	if plain.StatusCode != http.StatusAccepted {
+		t.Fatalf("plain post: status %d, want 202", plain.StatusCode)
+	}
+}
+
+// TestStatsTopology: every server reports its engine layout under the
+// stable topology key — flat by default, and whatever layout was
+// published via SetTopology otherwise.
+func TestStatsTopology(t *testing.T) {
+	w := buildWorld(t)
+	r, srv := newRefresher(t, w, "Vote", false)
+	if _, err := r.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var stats map[string]any
+	getJSON(t, ts, "/v1/stats", http.StatusOK, &stats)
+	topo, ok := stats["topology"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats have no topology object: %v", stats)
+	}
+	if topo["mode"] != "flat" {
+		t.Fatalf("default topology mode %q, want flat", topo["mode"])
+	}
+	if _, has := topo["workers"]; has {
+		t.Fatalf("flat topology leaks a workers list: %v", topo)
+	}
+
+	srv.SetTopology(Topology{Mode: "sharded", Shards: 8, Kind: "range", MaxResident: 2})
+	getJSON(t, ts, "/v1/stats", http.StatusOK, &stats)
+	topo = stats["topology"].(map[string]any)
+	if topo["mode"] != "sharded" || topo["shards"] != float64(8) ||
+		topo["kind"] != "range" || topo["max_resident_shards"] != float64(2) {
+		t.Fatalf("published topology %v, want sharded/range 8 shards 2 resident", topo)
+	}
+}

@@ -158,6 +158,23 @@ func (s *Store) Save(run *Run) (uint64, error) {
 	return next, nil
 }
 
+// SaveAt persists the run under an explicit version and points CURRENT at
+// it. This is the distributed workers' save path: the coordinator owns
+// version numbering, so every worker's store must carry the coordinator's
+// version for the same published round (the version-keyed ETags then agree
+// across the fleet). A run already stored at that version is overwritten —
+// republishing after a worker reattach is idempotent.
+func (s *Store) SaveAt(run *Run, version uint64) error {
+	if version == 0 {
+		return fmt.Errorf("store: SaveAt needs a positive version")
+	}
+	run.Version = version
+	if err := s.writeAtomic(runFile(version), encode(run)); err != nil {
+		return err
+	}
+	return s.writeAtomic(currentName, []byte(runFile(version)+"\n"))
+}
+
 // writeAtomic writes data to name via a same-directory temp file, fsync
 // and rename, so concurrent readers see either the old file or the new.
 func (s *Store) writeAtomic(name string, data []byte) error {

@@ -139,7 +139,7 @@ func TestServedBitIdenticalToFuse(t *testing.T) {
 		loaded.Swap(serve.FromRun(run))
 		ts := httptest.NewServer(loaded.Handler())
 		var got wirePayload
-		resp, err := ts.Client().Get(ts.URL + "/answers")
+		resp, err := ts.Client().Get(ts.URL + "/v1/answers")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -398,7 +398,7 @@ func TestServedRefreshUnderConcurrentReads(t *testing.T) {
 				default:
 				}
 				rec := httptest.NewRecorder()
-				handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/answers", nil))
+				handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/answers", nil))
 				if rec.Code != http.StatusOK {
 					errs <- fmt.Errorf("reader %d: status %d", g, rec.Code)
 					return
