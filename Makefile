@@ -31,7 +31,7 @@ bench:
 # pipefail keeps a failed/panicking bench run from hiding behind tee.
 benchpairs: SHELL := /bin/bash
 benchpairs:
-	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental|SnapshotApply|Sharded|Serve|Store|Distributed)' -cpu=1,4 -benchtime=3x -benchmem . ./internal/model | tee bench.txt
+	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental|SnapshotApply|Sharded|Serve|Store|Distributed|Kernel)' -cpu=1,4 -benchtime=3x -benchmem . ./internal/model ./internal/fusion | tee bench.txt
 
 # Regression gate: hardware-normalised ns/op against the committed
 # baseline (see cmd/benchdiff). BENCH is the candidate JSON.
@@ -42,11 +42,15 @@ benchgate:
 # CPU + allocation profiles of the hottest fusion loops. CI uploads the
 # pprof files (plus the test binary that resolves their symbols) per
 # push, so a layout regression can be diagnosed straight from the run
-# page with `go tool pprof truthdiscovery.test cpu.pprof`.
+# page with `go tool pprof truthdiscovery.test cpu.pprof`. The top-10
+# cumulative text reports make the hot-kernel split readable from the
+# artifact without running pprof locally.
 bench-profile:
 	$(GO) test -run='^$$' \
 		-bench='BenchmarkFusionAccuFormatAttrSerial|BenchmarkMethodAccuPr$$|BenchmarkMethodCosine$$|BenchmarkMethodTwoEstimates$$' \
 		-benchtime=5x -benchmem -cpuprofile=cpu.pprof -memprofile=mem.pprof .
+	$(GO) tool pprof -top -cum -nodecount=10 truthdiscovery.test cpu.pprof > cpu.top10.txt
+	$(GO) tool pprof -top -cum -nodecount=10 truthdiscovery.test mem.pprof > mem.top10.txt
 
 # Serving smoke: start truthserved on an ephemeral port, curl every
 # endpoint, and check one served answer against cmd/fuse on the same

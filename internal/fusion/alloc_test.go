@@ -71,6 +71,49 @@ func TestWarmRoundsAllocationFree(t *testing.T) {
 	}
 }
 
+// TestTableRefillsAllocationFree pins the per-round score-table refills
+// (tables.go) at zero allocations: the tables are per-run scratch,
+// refilled in place every round, so the warm-round zero-alloc property
+// survives the table-driven kernels.
+func TestTableRefillsAllocationFree(t *testing.T) {
+	p := allocProblem(t)
+	n := len(p.SourceIDs)
+	opts := Options{}.withDefaults()
+
+	trust := initTrust(n, nil, 0.8)
+	at := &accuTrust{global: trust}
+	tab := newAccuTables(n, 0, opts, accuConfig{name: "AccuPr"})
+	if a := testing.AllocsPerRun(10, func() { tab.update(at) }); a != 0 {
+		t.Errorf("accuTables.update (global) allocated %.1f objects per round, want 0", a)
+	}
+
+	byKey := make([][]float64, n)
+	for s := range byKey {
+		byKey[s] = []float64{0.8, 0.7, 0.9}
+	}
+	kat := &accuTrust{keyed: true, byKey: byKey}
+	ktab := newAccuTables(n, 3, opts, accuConfig{name: "AccuSimAttr", perAttr: true})
+	if a := testing.AllocsPerRun(10, func() { ktab.update(kat) }); a != 0 {
+		t.Errorf("accuTables.update (keyed) allocated %.1f objects per round, want 0", a)
+	}
+
+	dst := make([]float64, n)
+	if a := testing.AllocsPerRun(10, func() { tfLogTable(dst, trust) }); a != 0 {
+		t.Errorf("tfLogTable allocated %.1f objects per round, want 0", a)
+	}
+	if a := testing.AllocsPerRun(10, func() { cosineCubeTable(dst, trust) }); a != 0 {
+		t.Errorf("cosineCubeTable allocated %.1f objects per round, want 0", a)
+	}
+	if a := testing.AllocsPerRun(10, func() { investShares(dst, trust, p.ClaimsPerSource) }); a != 0 {
+		t.Errorf("investShares allocated %.1f objects per round, want 0", a)
+	}
+	logc := logClaimCounts(p.ClaimsPerSource)
+	mass := make([]float64, n)
+	if a := testing.AllocsPerRun(10, func() { avgLogTail(p.ClaimsPerSource, logc, mass, dst) }); a != 0 {
+		t.Errorf("avgLogTail allocated %.1f objects per round, want 0", a)
+	}
+}
+
 // TestVoteAllocationProfile: VOTE's warm path is the incremental
 // RunItems, which must not allocate at all; its full Run allocates only
 // the chosen vector and the Result.

@@ -42,22 +42,24 @@ func (TruthFinder) Run(p *Problem, opts Options) *Result {
 	tau := initTrust(n, opts.startTrust(), tfInitial)
 	next := make([]float64, n)
 	cnt := make([]float64, n)
+	nlg := make([]float64, n) // per-round -ln(1-tau) table
 	conf := newVoteSpace(p)
 	temps := newWorkerRows(p, opts.Parallelism)
 	res := &Result{Method: "TruthFinder"}
 
-	// Per-item confidence phase: every item only reads the shared tau,
-	// writes its own conf row and fully rewrites its worker's raw-score
-	// temp, so the loop fans out with bit-identical results at any
-	// parallelism.
+	// Per-item confidence phase: every item only reads the shared vote
+	// table, writes its own conf row and fully rewrites its worker's
+	// raw-score temp, so the loop fans out with bit-identical results at
+	// any parallelism.
 	confPhase := func(worker, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			tfConfItem(&p.Items[i], p.Sim[i], tau, conf.row(i), temps.rows[worker])
+			tfConfItem(&p.Items[i], p.Sim[i], nlg, conf.row(i), temps.rows[worker])
 		}
 	}
 
 	for round := 1; ; round++ {
 		res.Rounds = round
+		tfLogTable(nlg, tau)
 		parallel.ForWorker(len(p.Items), temps.workers, confPhase)
 		if opts.InputTrust != nil {
 			res.Converged = true
@@ -203,27 +205,36 @@ func (t *accuTrust) of(s int32, key int32) float64 {
 
 // accuScratch is the ACCU engine's per-run pool: the trust re-estimation
 // accumulators (flattened to source-major [source*numKeys+key] for the
-// keyed variants) and the per-worker similarity-boost temps. accuIterate
-// and accuWarm allocate it once and reuse it every round.
+// keyed variants), the per-worker similarity-boost temps, and the score
+// tables the posterior kernels read (the log-odds table refilled each
+// round, the popularity table built once per run). accuIterate and
+// accuWarm allocate it once and reuse it every round.
 type accuScratch struct {
-	next  []float64
-	cnt   []float64
-	temps workerRows
+	next   []float64
+	cnt    []float64
+	temps  workerRows
+	tables *accuTables
+	pop    *popTable // nil unless cfg.popularity
 }
 
-func newAccuScratch(p *Problem, numKeys, parallelism int) *accuScratch {
+func newAccuScratch(p *Problem, numKeys int, opts Options, cfg accuConfig) *accuScratch {
 	width := len(p.SourceIDs)
 	if numKeys > 0 {
 		width *= numKeys
 	}
-	return &accuScratch{
+	sc := &accuScratch{
 		next: make([]float64, width),
 		cnt:  make([]float64, width),
 		// Allocated for every config (a few cache lines): the posterior
 		// phase fans out by temps.workers, and only the sim configs ever
 		// read the rows.
-		temps: newWorkerRows(p, parallelism),
+		temps:  newWorkerRows(p, opts.Parallelism),
+		tables: newAccuTables(len(p.SourceIDs), numKeys, opts, cfg),
 	}
+	if cfg.popularity {
+		sc.pop = newPopTable(p)
+	}
+	return sc
 }
 
 // accuRun is the shared ACCU-family engine. weights, when non-nil, scales
@@ -284,17 +295,17 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 	}
 	chosen := make([]int32, len(p.Items)) // starts at the dominant bucket
 	res := &Result{Method: cfg.name}
-	logN := math.Log(opts.NFalse)
-	sc := newAccuScratch(p, numKeys, opts.Parallelism)
+	sc := newAccuScratch(p, numKeys, opts, cfg)
 
 	var weights claimWeights
-	postPhase := accuPostPhase(p, opts, cfg, trust, keyOf, logN, sc, probs, chosen, nil, &weights)
+	postPhase := accuPostPhase(p, opts, cfg, keyOf, sc, probs, chosen, nil, &weights)
 
 	for round := 1; ; round++ {
 		res.Rounds = round
 		if weigh != nil {
 			weights = weigh(round, trust, probs, chosen)
 		}
+		sc.tables.update(trust)
 		parallel.ForWorker(len(p.Items), sc.temps.workers, postPhase)
 
 		if trustGiven {
@@ -320,14 +331,15 @@ func accuIterate(p *Problem, opts Options, cfg accuConfig,
 
 // accuPostPhase builds the per-item posterior phase shared by the cold
 // (accuIterate) and warm (accuWarm) paths: item i reads the (stable)
-// trust state and claim weights, writes only probs[i] and chosen[i], and
-// fully rewrites its worker's boost temp, so the loop fans out with
-// bit-identical results at any parallelism. idx maps loop positions to
-// item indices (nil = identity — the cold path's full sweep); weights
-// points at the caller's per-round claim weights variable (nil when the
-// path never weighs claims).
-func accuPostPhase(p *Problem, opts Options, cfg accuConfig, trust *accuTrust,
-	keyOf func(int) int32, logN float64, sc *accuScratch,
+// score tables and claim weights, writes only probs[i] and chosen[i],
+// and fully rewrites its worker's boost temp, so the loop fans out with
+// bit-identical results at any parallelism. The caller refills
+// sc.tables from the current trust before each fan-out. idx maps loop
+// positions to item indices (nil = identity — the cold path's full
+// sweep); weights points at the caller's per-round claim weights
+// variable (nil when the path never weighs claims).
+func accuPostPhase(p *Problem, opts Options, cfg accuConfig,
+	keyOf func(int) int32, sc *accuScratch,
 	probs [][]float64, chosen []int32, idx []int, weights *claimWeights) func(worker, lo, hi int) {
 
 	return func(worker, lo, hi int) {
@@ -341,7 +353,11 @@ func accuPostPhase(p *Problem, opts Options, cfg accuConfig, trust *accuTrust,
 			if weights != nil && *weights != nil {
 				w = (*weights)[i]
 			}
-			chosen[i] = accuPosterior(p, i, opts, cfg, trust, keyOf(i), logN, w, probs[i], tmp)
+			var popLg, popCnt []float64
+			if sc.pop != nil {
+				popLg, popCnt = sc.pop.rows(i)
+			}
+			chosen[i] = accuPosterior(p, i, opts, cfg, sc.tables.row(keyOf(i)), popLg, popCnt, w, probs[i], tmp)
 		}
 	}
 }
@@ -371,44 +387,32 @@ func keySetup(p *Problem, cfg accuConfig) (numKeys int, keyOf func(int) int32) {
 }
 
 // accuPosterior computes one item's value posteriors into scores and
-// returns the winning bucket. It is a pure function of the item's buckets,
-// the trust entries of its providers, its aux structures and the supplied
-// claim weights — the invariant the incremental engine's dirty-item
-// tracking relies on. tmp is the caller's per-worker boost buffer (at
-// least MaxBuckets wide) for the similarity configs; it is fully
-// rewritten here.
-func accuPosterior(p *Problem, i int, opts Options, cfg accuConfig, trust *accuTrust,
-	key int32, logN float64, w [][]float64, scores []float64, tmp []float64) int32 {
+// returns the winning bucket. It is a pure function of the item's
+// buckets, the table entries of its providers (lo is the item's trust
+// key's log-odds row, popLg/popCnt the popularity pair terms — nil for
+// the non-popularity configs), its aux structures and the supplied claim
+// weights — the invariant the incremental engine's dirty-item tracking
+// relies on. The scoring pass dispatches once per item to a branch-free
+// weighted/unweighted × popularity/plain variant instead of testing
+// w != nil / cfg.popularity per claim. tmp is the caller's per-worker
+// boost buffer (at least MaxBuckets wide) for the similarity configs;
+// it is fully rewritten here.
+func accuPosterior(p *Problem, i int, opts Options, cfg accuConfig,
+	lo, popLg, popCnt []float64, w [][]float64, scores []float64, tmp []float64) int32 {
 
 	it := &p.Items[i]
-	m := float64(it.Providers)
-	for b, bk := range it.Buckets {
-		var l float64
-		for k, s := range bk.Sources {
-			a := clampTrust(trust.of(s, key), 0.01, 0.99)
-			wk := 1.0
-			if w != nil {
-				wk = w[b][k]
-			}
-			if cfg.popularity {
-				l += wk * math.Log(a/(1-a))
-			} else {
-				l += wk * (logN + math.Log(a/(1-a)))
-			}
+	if cfg.popularity {
+		if w != nil {
+			accuScorePopW(it, lo, popLg, popCnt, w, scores)
+		} else {
+			accuScorePop(it, lo, popLg, popCnt, scores)
 		}
-		if cfg.popularity {
-			// Non-providers of b supply false values whose popularity is
-			// their provider share among the remaining sources (Dong,
-			// Saha, Srivastava).
-			for b2, bk2 := range it.Buckets {
-				if b2 == b {
-					continue
-				}
-				pop := float64(len(bk2.Sources)) / math.Max(1, m-float64(len(bk.Sources)))
-				l += float64(len(bk2.Sources)) * math.Log(math.Max(pop, 1e-9))
-			}
+	} else {
+		if w != nil {
+			accuScorePlainW(it, lo, w, scores)
+		} else {
+			accuScorePlain(it, lo, scores)
 		}
-		scores[b] = l
 	}
 	if cfg.sim {
 		nb := len(it.Buckets)
@@ -417,12 +421,18 @@ func accuPosterior(p *Problem, i int, opts Options, cfg accuConfig, trust *accuT
 		}
 		boosted := tmp[:nb]
 		sim := p.Sim[i]
+		sw := opts.SimWeight
 		for b := 0; b < nb; b++ {
 			boost := scores[b]
-			for b2 := 0; b2 < nb; b2++ {
-				if b2 != b {
-					boost += opts.SimWeight * float64(sim[b*nb+b2]) * scores[b2]
-				}
+			// Split at the diagonal: two straight-line slice loops keep
+			// the exact skip-b accumulation order without the per-entry
+			// branch.
+			srow := sim[b*nb : b*nb+nb]
+			for b2 := 0; b2 < b; b2++ {
+				boost += sw * float64(srow[b2]) * scores[b2]
+			}
+			for b2 := b + 1; b2 < nb; b2++ {
+				boost += sw * float64(srow[b2]) * scores[b2]
 			}
 			boosted[b] = boost
 		}
@@ -435,6 +445,76 @@ func accuPosterior(p *Problem, i int, opts Options, cfg accuConfig, trust *accuT
 	}
 	softmaxInPlace(scores)
 	return argmax32(scores)
+}
+
+// The four ACCU scoring variants. Each accumulates one bucket's
+// log-score in the exact claim order of the original fused loop; the
+// log-odds (and ln N prior) come from the per-round table, so the hot
+// loop is a pure lookup/multiply-add. The unweighted variants drop the
+// wk multiply entirely (1.0*x == x exactly in IEEE, so the result is
+// unchanged bit for bit).
+
+func accuScorePlain(it *ProblemItem, lo, scores []float64) {
+	for b, bk := range it.Buckets {
+		var l float64
+		for _, s := range bk.Sources {
+			l += lo[s]
+		}
+		scores[b] = l
+	}
+}
+
+func accuScorePlainW(it *ProblemItem, lo []float64, w [][]float64, scores []float64) {
+	for b, bk := range it.Buckets {
+		var l float64
+		wb := w[b]
+		for k, s := range bk.Sources {
+			l += wb[k] * lo[s]
+		}
+		scores[b] = l
+	}
+}
+
+// accuScorePop adds POPACCU's popularity terms from the per-run pair
+// table: non-providers of b supply false values whose popularity is
+// their provider share among the remaining sources (Dong, Saha,
+// Srivastava). The diagonal-split loops keep the original skip-b
+// accumulation order branch-free.
+func accuScorePop(it *ProblemItem, lo, popLg, popCnt, scores []float64) {
+	nb := len(it.Buckets)
+	for b, bk := range it.Buckets {
+		var l float64
+		for _, s := range bk.Sources {
+			l += lo[s]
+		}
+		prow := popLg[b*nb : b*nb+nb]
+		for b2 := 0; b2 < b; b2++ {
+			l += popCnt[b2] * prow[b2]
+		}
+		for b2 := b + 1; b2 < nb; b2++ {
+			l += popCnt[b2] * prow[b2]
+		}
+		scores[b] = l
+	}
+}
+
+func accuScorePopW(it *ProblemItem, lo, popLg, popCnt []float64, w [][]float64, scores []float64) {
+	nb := len(it.Buckets)
+	for b, bk := range it.Buckets {
+		var l float64
+		wb := w[b]
+		for k, s := range bk.Sources {
+			l += wb[k] * lo[s]
+		}
+		prow := popLg[b*nb : b*nb+nb]
+		for b2 := 0; b2 < b; b2++ {
+			l += popCnt[b2] * prow[b2]
+		}
+		for b2 := b + 1; b2 < nb; b2++ {
+			l += popCnt[b2] * prow[b2]
+		}
+		scores[b] = l
+	}
 }
 
 // accuReestimate recomputes trust from the current posteriors (the M-step
@@ -559,25 +639,31 @@ func accuMeanFold(it *ProblemItem, key int32, byKey [][]float64, acc, claims []f
 	}
 }
 
-// tfConfItem computes one item's TRUTHFINDER confidences; tmp is a
+// tfConfItem computes one item's TRUTHFINDER confidences; nlg is the
+// per-round -ln(1-min(tau, tfMaxTau)) table (tfLogTable) and tmp a
 // per-worker temporary of at least len(it.Buckets) entries, fully
 // rewritten here. Shared verbatim by the flat loop and the sharded
-// engine, like every kernel in this file.
-func tfConfItem(it *ProblemItem, sim []float32, tau []float64, row, tmp []float64) {
+// engine, like every kernel in this file. The similarity boost splits at
+// the diagonal into two straight-line slice loops, preserving the exact
+// skip-b accumulation order without the per-entry branch.
+func tfConfItem(it *ProblemItem, sim []float32, nlg []float64, row, tmp []float64) {
 	nb := len(it.Buckets)
 	raw := tmp[:nb]
-	clear(raw)
 	for b, bk := range it.Buckets {
+		var v float64
 		for _, s := range bk.Sources {
-			raw[b] += -math.Log(1 - math.Min(tau[s], tfMaxTau))
+			v += nlg[s]
 		}
+		raw[b] = v
 	}
 	for b := 0; b < nb; b++ {
 		adj := raw[b]
-		for b2 := 0; b2 < nb; b2++ {
-			if b2 != b {
-				adj += tfRho * float64(sim[b*nb+b2]) * raw[b2]
-			}
+		srow := sim[b*nb : b*nb+nb]
+		for b2 := 0; b2 < b; b2++ {
+			adj += tfRho * float64(srow[b2]) * raw[b2]
+		}
+		for b2 := b + 1; b2 < nb; b2++ {
+			adj += tfRho * float64(srow[b2]) * raw[b2]
 		}
 		row[b] = 1 / (1 + math.Exp(-tfGamma*adj))
 	}

@@ -2,7 +2,6 @@ package fusion
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
@@ -211,7 +210,15 @@ type DistExec struct {
 	chosen  []int32
 	numKeys int
 	keyAt   func(k int, p *Problem, i int) int32
-	logN    float64
+	tables  *accuTables
+	popTabs []*popTable // per owned shard, built lazily on first phase
+
+	// Per-round score tables of the non-ACCU kinds, refilled from the
+	// coordinator's trust at the top of every Phase (and Fold, for
+	// INVEST — a remote worker's Phase and Fold are separate calls).
+	nlg    []float64 // TRUTHFINDER -log(1-tau)
+	cube   []float64 // COSINE trust^3
+	shares []float64 // INVEST trust/claims
 
 	// cps is the global per-source claim count (the coordinator's sum),
 	// read by the INVEST kernels in place of the owned-subset counts.
@@ -239,9 +246,15 @@ func NewDistExec(sp *ShardedProblem, m Method, opts Options, globalCPS []int) (*
 	case dkInvest, dkPooledInvest:
 		e.spaces = sp.newSpaces()
 		e.aux = sp.newSpaces()
+		e.shares = make([]float64, len(sp.SourceIDs))
 	case dkCosine, dkTF:
 		e.spaces = sp.newSpaces()
 		e.temps = sp.newPartTemps(opts.Parallelism)
+		if kind == dkCosine {
+			e.cube = make([]float64, len(sp.SourceIDs))
+		} else {
+			e.nlg = make([]float64, len(sp.SourceIDs))
+		}
 	case dkThreeEst:
 		e.spaces = sp.newSpaces()
 		e.eps = sp.newSpaces()
@@ -253,7 +266,10 @@ func NewDistExec(sp *ShardedProblem, m Method, opts Options, globalCPS []int) (*
 	case dkAccu:
 		e.temps = sp.newPartTemps(opts.Parallelism)
 		e.numKeys, e.keyAt = shardedKeySetup(sp, cfg)
-		e.logN = math.Log(opts.NFalse)
+		e.tables = newAccuTables(len(sp.SourceIDs), e.numKeys, opts, cfg)
+		if cfg.popularity {
+			e.popTabs = make([]*popTable, len(sp.parts))
+		}
 		e.probs = make([][]float64, sp.NumItems())
 		partRows := make([][][]float64, len(sp.parts))
 		for k, pt := range sp.parts {
@@ -285,18 +301,20 @@ func (e *DistExec) Phase(step int, trust []float64, byKey [][]float64) error {
 		}, nil)
 	case dkInvest, dkPooledInvest:
 		pooled := e.kind == dkPooledInvest
+		investShares(e.shares, trust, e.cps)
 		e.sp.sweep(par, func(k int, p *Problem, par int) {
 			parallel.For(len(p.Items), par, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					investItem(&p.Items[i], trust, e.cps, e.spaces[k].row(i), e.aux[k].row(i), pooled)
+					investItem(&p.Items[i], e.shares, e.spaces[k].row(i), e.aux[k].row(i), pooled)
 				}
 			})
 		}, nil)
 	case dkCosine:
+		cosineCubeTable(e.cube, trust)
 		e.sp.sweep(par, func(k int, p *Problem, par int) {
 			parallel.ForWorker(len(p.Items), innerWorkers(par, e.temps[k]), func(worker, lo, hi int) {
 				for i := lo; i < hi; i++ {
-					cosineScoreItem(&p.Items[i], trust, e.spaces[k].row(i), e.temps[k].rows[worker])
+					cosineScoreItem(&p.Items[i], e.cube, e.spaces[k].row(i), e.temps[k].rows[worker])
 				}
 			})
 		}, nil)
@@ -327,22 +345,35 @@ func (e *DistExec) Phase(step int, trust []float64, byKey [][]float64) error {
 			})
 		}, nil)
 	case dkTF:
+		tfLogTable(e.nlg, trust)
 		e.sp.sweep(par, func(k int, p *Problem, par int) {
 			parallel.ForWorker(len(p.Items), innerWorkers(par, e.temps[k]), func(worker, lo, hi int) {
 				for i := lo; i < hi; i++ {
-					tfConfItem(&p.Items[i], p.Sim[i], trust, e.spaces[k].row(i), e.temps[k].rows[worker])
+					tfConfItem(&p.Items[i], p.Sim[i], e.nlg, e.spaces[k].row(i), e.temps[k].rows[worker])
 				}
 			})
 		}, nil)
 	case dkAccu:
 		at := &accuTrust{keyed: e.numKeys > 0, global: trust, byKey: byKey}
+		e.tables.update(at)
 		e.sp.sweep(par, func(k int, p *Problem, par int) {
+			var pt *popTable
+			if e.popTabs != nil {
+				if e.popTabs[k] == nil {
+					e.popTabs[k] = newPopTable(p)
+				}
+				pt = e.popTabs[k]
+			}
 			gi := e.sp.parts[k].gidx
 			parallel.ForWorker(len(p.Items), innerWorkers(par, e.temps[k]), func(worker, lo, hi int) {
 				tmp := e.temps[k].rows[worker]
 				for i := lo; i < hi; i++ {
+					var popLg, popCnt []float64
+					if pt != nil {
+						popLg, popCnt = pt.rows(i)
+					}
 					g := gi[i]
-					e.chosen[g] = accuPosterior(p, i, e.opts, e.cfg, at, e.keyAt(k, p, i), e.logN, nil, e.probs[g], tmp)
+					e.chosen[g] = accuPosterior(p, i, e.opts, e.cfg, e.tables.row(e.keyAt(k, p, i)), popLg, popCnt, nil, e.probs[g], tmp)
 				}
 			})
 		}, nil)
@@ -436,8 +467,12 @@ func (e *DistExec) Fold(fold int, trust []float64, byKey [][]float64, acc [][]fl
 		if len(acc) != 1 {
 			return bad(1)
 		}
+		// Refill the shares table from the fold's own trust argument: a
+		// remote worker's Phase and Fold arrive as separate calls, so the
+		// table cannot be assumed to carry over.
+		investShares(e.shares, trust, e.cps)
 		e.sp.sweep(1, nil, func(k int, p *Problem, i, g int) {
-			investFold(&p.Items[i], trust, e.cps, e.spaces[k].row(i), e.aux[k].row(i), acc[0])
+			investFold(&p.Items[i], e.shares, e.spaces[k].row(i), e.aux[k].row(i), acc[0])
 		})
 	case dkCosine:
 		if len(acc) != 3 {
@@ -655,8 +690,10 @@ func DistRun(m Method, opts Options, peers []DistPeer, n, numAttrs int, cps []in
 		trust := initTrust(n, nil, 1)
 		next := make([]float64, n)
 		mass := next
+		var logc []float64
 		if kind == dkAvgLog {
 			mass = make([]float64, n)
+			logc = logClaimCounts(cps)
 		}
 		for round := 1; ; round++ {
 			res.Rounds = round
@@ -668,7 +705,7 @@ func DistRun(m Method, opts Options, peers []DistPeer, n, numAttrs int, cps []in
 				return nil, err
 			}
 			if kind == dkAvgLog {
-				avgLogTail(cps, mass, next)
+				avgLogTail(cps, logc, mass, next)
 			}
 			normalizeMax(next)
 			delta := maxDelta(trust, next)

@@ -2,7 +2,6 @@ package fusion
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"truthdiscovery/internal/model"
@@ -376,11 +375,11 @@ func accuWarm(p *Problem, opts Options, cfg accuConfig, prev *Result, prevIdx, d
 	}
 
 	res := &Result{Method: cfg.name}
-	logN := math.Log(opts.NFalse)
-	sc := newAccuScratch(p, numKeys, opts.Parallelism)
-	postPhase := accuPostPhase(p, opts, cfg, trust, keyOf, logN, sc, probs, chosen, dirtyIdx, nil)
+	sc := newAccuScratch(p, numKeys, opts, cfg)
+	postPhase := accuPostPhase(p, opts, cfg, keyOf, sc, probs, chosen, dirtyIdx, nil)
 	for round := 1; ; round++ {
 		res.Rounds = round
+		sc.tables.update(trust)
 		parallel.ForWorker(len(dirtyIdx), sc.temps.workers, postPhase)
 		delta := accuReestimate(p, trust, probs, keyOf, numKeys, sc)
 		if drift := trustDrift(trust, baseGlobal, baseKeyed); drift > tol {

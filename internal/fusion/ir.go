@@ -52,8 +52,9 @@ func (Cosine) Run(p *Problem, opts Options) *Result {
 	trust := initTrust(n, opts.startTrust(), 0.5)
 	next := make([]float64, n)
 	num := make([]float64, n)
-	den := make([]float64, n) // score-norm contribution per source
-	cnt := make([]float64, n) // claim-vector norm^2 per source
+	den := make([]float64, n)  // score-norm contribution per source
+	cnt := make([]float64, n)  // claim-vector norm^2 per source
+	cube := make([]float64, n) // per-round trust^3 table
 	scores := newVoteSpace(p)
 	temps := newWorkerRows(p, opts.Parallelism)
 
@@ -63,13 +64,14 @@ func (Cosine) Run(p *Problem, opts Options) *Result {
 	// bit-identically at any parallelism.
 	scorePhase := func(worker, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			cosineScoreItem(&p.Items[i], trust, scores.row(i), temps.rows[worker])
+			cosineScoreItem(&p.Items[i], cube, scores.row(i), temps.rows[worker])
 		}
 	}
 
 	res := &Result{Method: "Cosine"}
 	for round := 1; ; round++ {
 		res.Rounds = round
+		cosineCubeTable(cube, trust)
 		parallel.ForWorker(len(p.Items), temps.workers, scorePhase)
 		if opts.InputTrust != nil {
 			res.Converged = true
@@ -271,10 +273,10 @@ func rescaleFlat(xs []float64, parallelism int) {
 	if hi <= lo {
 		return
 	}
+	// Batched over ranges via rescaleSpan — the same straight-line slice
+	// loop the sharded and distributed rescales use.
 	parallel.For(n, parallelism, func(a, b int) {
-		for i := a; i < b; i++ {
-			xs[i] = (xs[i] - lo) / (hi - lo)
-		}
+		rescaleSpan(xs[a:b], lo, hi)
 	})
 }
 
@@ -291,16 +293,16 @@ func sumTrust(ss []int32, trust []float64) float64 {
 // paths perform the same floating-point operations in the same per-item
 // order — the flat/sharded bit-identity contract.
 
-// cosineScoreItem computes one item's truth scores in [-1, 1]; tmp is a
-// per-worker temporary of at least len(it.Buckets) entries, fully
-// rewritten here.
-func cosineScoreItem(it *ProblemItem, trust []float64, row, tmp []float64) {
+// cosineScoreItem computes one item's truth scores in [-1, 1]; cube is
+// the per-round trust^3 table (cosineCubeTable) and tmp a per-worker
+// temporary of at least len(it.Buckets) entries, fully rewritten here.
+func cosineScoreItem(it *ProblemItem, cube []float64, row, tmp []float64) {
 	cub := tmp[:len(it.Buckets)]
 	clear(cub)
 	var total float64
 	for b, bk := range it.Buckets {
 		for _, s := range bk.Sources {
-			w := trust[s] * trust[s] * trust[s]
+			w := cube[s]
 			cub[b] += w
 			total += math.Abs(w)
 		}

@@ -2,7 +2,6 @@ package fusion
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"truthdiscovery/internal/copydetect"
@@ -118,6 +117,7 @@ func avgLogSharded(sp *ShardedProblem, opts Options) *Result {
 	trust := initTrust(n, opts.startTrust(), 1)
 	next := make([]float64, n)
 	mass := make([]float64, n)
+	logc := logClaimCounts(sp.ClaimsPerSource)
 	spaces := sp.newSpaces()
 	phase := func(k int, p *Problem, par int) {
 		parallel.For(len(p.Items), par, func(lo, hi int) {
@@ -139,7 +139,7 @@ func avgLogSharded(sp *ShardedProblem, opts Options) *Result {
 		sp.sweep(opts.Parallelism, phase, func(k int, p *Problem, i, g int) {
 			voteMassFold(&p.Items[i], spaces[k].row(i), mass)
 		})
-		avgLogTail(sp.ClaimsPerSource, mass, next)
+		avgLogTail(sp.ClaimsPerSource, logc, mass, next)
 		normalizeMax(next)
 		delta := maxDelta(trust, next)
 		trust, next = next, trust
@@ -161,13 +161,14 @@ func investSharded(sp *ShardedProblem, opts Options, pooled bool) *Result {
 	n := len(sp.SourceIDs)
 	trust := initTrust(n, opts.startTrust(), 1)
 	next := make([]float64, n)
+	shares := make([]float64, n)
 	votes := sp.newSpaces()
 	invested := sp.newSpaces()
 	cps := sp.ClaimsPerSource
 	phase := func(k int, p *Problem, par int) {
 		parallel.For(len(p.Items), par, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				investItem(&p.Items[i], trust, cps, votes[k].row(i), invested[k].row(i), pooled)
+				investItem(&p.Items[i], shares, votes[k].row(i), invested[k].row(i), pooled)
 			}
 		})
 	}
@@ -179,6 +180,7 @@ func investSharded(sp *ShardedProblem, opts Options, pooled bool) *Result {
 	res := &Result{Method: name}
 	for round := 1; ; round++ {
 		res.Rounds = round
+		investShares(shares, trust, cps)
 		if opts.InputTrust != nil {
 			sp.sweep(opts.Parallelism, phase, nil)
 			res.Converged = true
@@ -186,7 +188,7 @@ func investSharded(sp *ShardedProblem, opts Options, pooled bool) *Result {
 		}
 		clear(next)
 		sp.sweep(opts.Parallelism, phase, func(k int, p *Problem, i, g int) {
-			investFold(&p.Items[i], trust, cps, votes[k].row(i), invested[k].row(i), next)
+			investFold(&p.Items[i], shares, votes[k].row(i), invested[k].row(i), next)
 		})
 		if !pooled {
 			normalizeMax(next)
@@ -214,12 +216,13 @@ func cosineSharded(sp *ShardedProblem, opts Options) *Result {
 	num := make([]float64, n)
 	den := make([]float64, n)
 	cnt := make([]float64, n)
+	cube := make([]float64, n)
 	spaces := sp.newSpaces()
 	temps := sp.newPartTemps(opts.Parallelism)
 	phase := func(k int, p *Problem, par int) {
 		parallel.ForWorker(len(p.Items), innerWorkers(par, temps[k]), func(worker, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				cosineScoreItem(&p.Items[i], trust, spaces[k].row(i), temps[k].rows[worker])
+				cosineScoreItem(&p.Items[i], cube, spaces[k].row(i), temps[k].rows[worker])
 			}
 		})
 	}
@@ -227,6 +230,7 @@ func cosineSharded(sp *ShardedProblem, opts Options) *Result {
 	res := &Result{Method: "Cosine"}
 	for round := 1; ; round++ {
 		res.Rounds = round
+		cosineCubeTable(cube, trust)
 		if opts.InputTrust != nil {
 			sp.sweep(opts.Parallelism, phase, nil)
 			res.Converged = true
@@ -371,12 +375,13 @@ func tfSharded(sp *ShardedProblem, opts Options) *Result {
 	tau := initTrust(n, opts.startTrust(), tfInitial)
 	next := make([]float64, n)
 	cnt := make([]float64, n)
+	nlg := make([]float64, n)
 	spaces := sp.newSpaces()
 	temps := sp.newPartTemps(opts.Parallelism)
 	phase := func(k int, p *Problem, par int) {
 		parallel.ForWorker(len(p.Items), innerWorkers(par, temps[k]), func(worker, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				tfConfItem(&p.Items[i], p.Sim[i], tau, spaces[k].row(i), temps[k].rows[worker])
+				tfConfItem(&p.Items[i], p.Sim[i], nlg, spaces[k].row(i), temps[k].rows[worker])
 			}
 		})
 	}
@@ -384,6 +389,7 @@ func tfSharded(sp *ShardedProblem, opts Options) *Result {
 	res := &Result{Method: "TruthFinder"}
 	for round := 1; ; round++ {
 		res.Rounds = round
+		tfLogTable(nlg, tau)
 		if opts.InputTrust != nil {
 			sp.sweep(opts.Parallelism, phase, nil)
 			res.Converged = true
@@ -473,12 +479,20 @@ func accuSharded(sp *ShardedProblem, opts Options, cfg accuConfig,
 	}
 
 	res := &Result{Method: cfg.name}
-	logN := math.Log(opts.NFalse)
 	width := n
 	if numKeys > 0 {
 		width *= numKeys
 	}
 	sc := &accuScratch{next: make([]float64, width), cnt: make([]float64, width)}
+	tables := newAccuTables(n, numKeys, opts, cfg)
+	// Per-shard popularity tables, built lazily on each shard's first
+	// phase (shard rebuilds under the memory budget reproduce the same
+	// bucket structure, so a table recorded once stays valid). Distinct
+	// slots, so concurrent shard phases never race.
+	var popTabs []*popTable
+	if cfg.popularity {
+		popTabs = make([]*popTable, len(sp.parts))
+	}
 	temps := sp.newPartTemps(opts.Parallelism)
 
 	var weights shardedWeights
@@ -486,6 +500,13 @@ func accuSharded(sp *ShardedProblem, opts Options, cfg accuConfig,
 		var w claimWeights
 		if weights != nil {
 			w = weights[k]
+		}
+		var pt *popTable
+		if popTabs != nil {
+			if popTabs[k] == nil {
+				popTabs[k] = newPopTable(p)
+			}
+			pt = popTabs[k]
 		}
 		gi := sp.parts[k].gidx
 		parallel.ForWorker(len(p.Items), innerWorkers(par, temps[k]), func(worker, lo, hi int) {
@@ -495,8 +516,12 @@ func accuSharded(sp *ShardedProblem, opts Options, cfg accuConfig,
 				if w != nil {
 					wi = w[i]
 				}
+				var popLg, popCnt []float64
+				if pt != nil {
+					popLg, popCnt = pt.rows(i)
+				}
 				g := gi[i]
-				chosen[g] = accuPosterior(p, i, opts, cfg, trust, keyAt(k, p, i), logN, wi, probs[g], tmp)
+				chosen[g] = accuPosterior(p, i, opts, cfg, tables.row(keyAt(k, p, i)), popLg, popCnt, wi, probs[g], tmp)
 			}
 		})
 	}
@@ -513,6 +538,7 @@ func accuSharded(sp *ShardedProblem, opts Options, cfg accuConfig,
 		if weigh != nil {
 			weights = weigh(round, trust, probs, chosen)
 		}
+		tables.update(trust)
 		if trustGiven {
 			sp.sweep(opts.Parallelism, phase, nil)
 			// With sampled trust there is no estimation loop; ACCUCOPY

@@ -82,6 +82,7 @@ func (AvgLog) Run(p *Problem, opts Options) *Result {
 	trust := initTrust(n, opts.startTrust(), 1)
 	next := make([]float64, n)
 	mass := make([]float64, n)
+	logc := logClaimCounts(p.ClaimsPerSource) // claim counts never change across rounds
 	votes := newVoteSpace(p)
 	votePhase := trustMassVotes(p, &trust, votes)
 
@@ -97,7 +98,7 @@ func (AvgLog) Run(p *Problem, opts Options) *Result {
 		for i := range p.Items {
 			voteMassFold(&p.Items[i], votes.row(i), mass)
 		}
-		avgLogTail(p.ClaimsPerSource, mass, next)
+		avgLogTail(p.ClaimsPerSource, logc, mass, next)
 		normalizeMax(next)
 		delta := maxDelta(trust, next)
 		trust, next = next, trust
@@ -153,6 +154,7 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 	n := len(p.SourceIDs)
 	trust := initTrust(n, opts.startTrust(), 1)
 	next := make([]float64, n)
+	shares := make([]float64, n) // per-round trust/claims table
 	votes := newVoteSpace(p)
 	invested := newVoteSpace(p) // per item per bucket
 
@@ -160,7 +162,7 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 	// rows, bit-identical at any parallelism.
 	investPhase := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			investItem(&p.Items[i], trust, p.ClaimsPerSource, votes.row(i), invested.row(i), pooled)
+			investItem(&p.Items[i], shares, votes.row(i), invested.row(i), pooled)
 		}
 	}
 
@@ -171,6 +173,7 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 	res := &Result{Method: name}
 	for round := 1; ; round++ {
 		res.Rounds = round
+		investShares(shares, trust, p.ClaimsPerSource)
 		parallel.For(len(p.Items), opts.Parallelism, investPhase)
 		if opts.InputTrust != nil {
 			res.Converged = true
@@ -178,7 +181,7 @@ func runInvest(p *Problem, opts Options, pooled bool) *Result {
 		}
 		clear(next)
 		for i := range p.Items {
-			investFold(&p.Items[i], trust, p.ClaimsPerSource, votes.row(i), invested.row(i), next)
+			investFold(&p.Items[i], shares, votes.row(i), invested.row(i), next)
 		}
 		if !pooled {
 			normalizeMax(next)
@@ -238,11 +241,13 @@ func voteMassFold(it *ProblemItem, row []float64, acc []float64) {
 }
 
 // avgLogTail turns accumulated vote mass into AVGLOG trust: log of the
-// claim count times the average vote.
-func avgLogTail(cps []int, mass, next []float64) {
+// claim count times the average vote. logc is the per-run
+// log(claims+1) table (logClaimCounts) — the counts are round-constant,
+// so the log is hoisted out of the round loop.
+func avgLogTail(cps []int, logc, mass, next []float64) {
 	for s := range next {
 		if c := cps[s]; c > 0 {
-			next[s] = math.Log(float64(c)+1) * mass[s] / float64(c)
+			next[s] = logc[s] * mass[s] / float64(c)
 		} else {
 			next[s] = 0
 		}
@@ -251,15 +256,16 @@ func avgLogTail(cps []int, mass, next []float64) {
 
 // investItem runs one item's investment phase: every provider invests
 // trust/claims into its bucket, votes grow as invested^1.2, and POOLED-
-// INVEST rescales the votes to the item's total investment.
-func investItem(it *ProblemItem, trust []float64, cps []int, vrow, irow []float64, pooled bool) {
+// INVEST rescales the votes to the item's total investment. shares is
+// the per-round trust/claims table (investShares); every source that
+// appears in a bucket has at least one claim, so the table lookup is
+// exactly the guarded division it replaces.
+func investItem(it *ProblemItem, shares []float64, vrow, irow []float64, pooled bool) {
 	var pool float64
 	for b, bk := range it.Buckets {
 		var inv float64
 		for _, s := range bk.Sources {
-			if c := cps[s]; c > 0 {
-				inv += trust[s] / float64(c)
-			}
+			inv += shares[s]
 		}
 		irow[b] = inv
 		vrow[b] = math.Pow(inv, investExponent)
@@ -279,17 +285,17 @@ func investItem(it *ProblemItem, trust []float64, cps []int, vrow, irow []float6
 }
 
 // investFold pays one item's votes back to the investors in proportion
-// to their contribution.
-func investFold(it *ProblemItem, trust []float64, cps []int, vrow, irow, next []float64) {
+// to their contribution. shares is the same per-round trust/claims table
+// the investment phase read; bucket membership implies a positive claim
+// count, so the lookup matches the old guarded division bit for bit.
+func investFold(it *ProblemItem, shares []float64, vrow, irow, next []float64) {
 	for b, bk := range it.Buckets {
 		if irow[b] <= 0 {
 			continue
 		}
 		for _, s := range bk.Sources {
-			if c := cps[s]; c > 0 {
-				share := (trust[s] / float64(c)) / irow[b]
-				next[s] += vrow[b] * share
-			}
+			share := shares[s] / irow[b]
+			next[s] += vrow[b] * share
 		}
 	}
 }
