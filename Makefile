@@ -31,7 +31,7 @@ bench:
 # pipefail keeps a failed/panicking bench run from hiding behind tee.
 benchpairs: SHELL := /bin/bash
 benchpairs:
-	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental|SnapshotApply|Sharded|Serve|Store|Distributed|Kernel)' -cpu=1,4 -benchtime=3x -benchmem . ./internal/model ./internal/fusion | tee bench.txt
+	set -o pipefail; $(GO) test -run='^$$' -bench='(Serial|Parallel|Incremental|SnapshotApply|Sharded|Serve|Store|Distributed|Kernel|Planned)' -cpu=1,4 -benchtime=3x -benchmem . ./internal/model ./internal/fusion | tee bench.txt
 
 # Regression gate: hardware-normalised ns/op against the committed
 # baseline (see cmd/benchdiff). BENCH is the candidate JSON.

@@ -1,0 +1,120 @@
+package truthdiscovery
+
+import (
+	"fmt"
+
+	"truthdiscovery/internal/fusion"
+)
+
+// Adaptive entry point: FuseAuto lets the planner pick the problem layout
+// (flat or sharded) at build time, and FuseAutoIncremental advances the
+// resulting state with the planner picking the execution path (local,
+// warm, full) each day from the delta's measured features. The layout of
+// a live state is fixed — switching it means rebuilding from scratch —
+// so the layout decision happens once, here, from a pre-build arena
+// estimate; the per-day path decision is computePlan's, recorded on
+// every result.
+
+// AutoState is the layout-agnostic fused state FuseAuto returns and
+// FuseAutoIncremental advances: a flat FusedState or a sharded
+// ShardedState behind one accessor surface.
+type AutoState struct {
+	flat    *FusedState
+	sharded *ShardedState
+	// Stats describes the fuse that produced this state.
+	Stats IncrementalStats
+}
+
+// Layout reports the layout the state was built with.
+func (s *AutoState) Layout() PlanLayout {
+	if s.sharded != nil {
+		return LayoutSharded
+	}
+	return LayoutFlat
+}
+
+// Method returns the fusion method name the state was built with.
+func (s *AutoState) Method() string {
+	if s.sharded != nil {
+		return s.sharded.Method()
+	}
+	return s.flat.Method()
+}
+
+// Result exposes the underlying fusion result (trust vector, rounds...).
+func (s *AutoState) Result() *FusionResult {
+	if s.sharded != nil {
+		return s.sharded.Result()
+	}
+	return s.flat.Result()
+}
+
+// Plan returns the execution plan of the advance that produced this
+// state (nil for the from-scratch FuseAuto build, which has no delta to
+// plan on).
+func (s *AutoState) Plan() *Plan {
+	if r := s.Result(); r != nil {
+		return r.Plan
+	}
+	return nil
+}
+
+// FuseAuto fuses a snapshot like FuseStateful, with the layout chosen by
+// the planner instead of the caller: an explicit FuseOptions.Shards > 1
+// always wins; otherwise, when the planner sets ArenaBudgetBytes and the
+// world's estimated flat arena exceeds it, the items are laid out over
+// enough range shards that one shard's arena fits the budget, kept
+// resident one at a time. Answers are bit-identical either way — layout
+// is purely an execution choice. The returned state advances with
+// FuseAutoIncremental.
+func FuseAuto(ds *Dataset, snap *Snapshot, method string, opts FuseOptions) ([]Answer, *AutoState, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Shards <= 1 && opts.Planner != nil && opts.Planner.ArenaBudgetBytes > 0 &&
+		!(opts.Planner.Mode == PlannerForced && opts.Planner.ForceLayout == LayoutFlat) {
+		est := fusion.EstimateArenaBytes(snap.NumItems(), len(snap.Claims))
+		if shards, maxResident := fusion.PlanShards(est, opts.Planner.ArenaBudgetBytes); shards > 1 {
+			opts.Shards = shards
+			opts.MaxResidentShards = maxResident
+		}
+	}
+	if opts.Shards > 1 {
+		answers, st, err := FuseShardedStateful(ds, snap, method, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return answers, &AutoState{sharded: st, Stats: st.Stats}, nil
+	}
+	answers, st, err := FuseStateful(ds, snap, method, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return answers, &AutoState{flat: st, Stats: st.Stats}, nil
+}
+
+// FuseAutoIncremental advances an auto state over a delta on whichever
+// layout it was built with, the planner picking the execution path from
+// the delta's measured features (see FuseOptions.Planner). The decision
+// and its inputs are recorded on the result (FusionResult.Plan) and in
+// the returned state's Stats.
+func FuseAutoIncremental(ds *Dataset, prev *AutoState, delta *Delta, method string, opts FuseOptions) ([]Answer, *AutoState, error) {
+	if prev == nil || (prev.flat == nil && prev.sharded == nil) {
+		return nil, nil, fmt.Errorf("truthdiscovery: FuseAutoIncremental needs a state from FuseAuto")
+	}
+	if prev.sharded != nil {
+		answers, st, err := FuseShardedIncremental(ds, prev.sharded, delta, method, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return answers, &AutoState{sharded: st, Stats: st.Stats}, nil
+	}
+	if opts.Shards > 1 {
+		return nil, nil, fmt.Errorf("truthdiscovery: this state was laid out flat; Shards = %d would be silently ignored (layout is fixed per state — rebuild with FuseAuto)", opts.Shards)
+	}
+	answers, st, err := FuseIncremental(ds, prev.flat, delta, method, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return answers, &AutoState{flat: st, Stats: st.Stats}, nil
+}

@@ -596,6 +596,99 @@ func BenchmarkShardedIncrementalDelta(b *testing.B) {
 	}
 }
 
+// Planner benchmarks: the adaptive planner against a forced-full
+// baseline at both ends of the churn spectrum. On the low-churn world
+// (~5% of items/day) the auto plan takes the dirty-only warm path and
+// must beat re-running the full iteration; on the Stock stream (>90% of
+// items reprice daily) the churn ceiling routes auto to the full path
+// and the pair must match. Each bench reports the measured churn and
+// the warm-path share so the decision is visible in the artifact.
+
+// benchPlannedAdvance advances a flat AccuPr state over the delta
+// stream at a 0.05 trust tolerance under the given planner.
+func benchPlannedAdvance(b *testing.B, ds *Dataset, snaps []*Snapshot, deltas []*Delta,
+	fused []SourceID, planner *Planner) {
+	b.Helper()
+	opts := FuseOptions{Sources: fused, TrustTolerance: 0.05, Planner: planner}
+	var churn float64
+	var warm, advances int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := FuseStateful(ds, snaps[0], "AccuPr", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, dl := range deltas {
+			_, st, err = FuseIncremental(ds, st, dl, "AccuPr", opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Stats.Plan == nil {
+				b.Fatal("advance recorded no plan")
+			}
+			churn += st.Stats.Plan.Features.ChurnFraction
+			if st.Stats.Mode == ModeWarm {
+				warm++
+			}
+			advances++
+		}
+	}
+	b.StopTimer()
+	if advances > 0 {
+		b.ReportMetric(100*churn/float64(advances), "churn%/day")
+		b.ReportMetric(100*float64(warm)/float64(advances), "warm%")
+	}
+}
+
+func BenchmarkPlannedAdvanceLowChurn(b *testing.B) {
+	ds, snaps, deltas := churnWorld(b)
+	benchPlannedAdvance(b, ds, snaps, deltas, nil, &Planner{Mode: PlannerAuto})
+}
+
+func BenchmarkPlannedAdvanceLowChurnForcedFull(b *testing.B) {
+	ds, snaps, deltas := churnWorld(b)
+	benchPlannedAdvance(b, ds, snaps, deltas, nil,
+		&Planner{Mode: PlannerForced, ForcePath: ModeFull})
+}
+
+// plannedStockWorld builds (once) the Stock stream for the high-churn
+// pair, where nearly every item reprices daily.
+var (
+	plannedStockOnce   sync.Once
+	plannedStockDS     *Dataset
+	plannedStockSnaps  []*Snapshot
+	plannedStockDeltas []*Delta
+	plannedStockFused  []SourceID
+)
+
+func plannedStockWorld(b *testing.B) (*Dataset, []*Snapshot, []*Delta, []SourceID) {
+	b.Helper()
+	plannedStockOnce.Do(func() {
+		w := streamWorlds(b, churnDays)[0] // Stock
+		plannedStockDS, plannedStockSnaps, plannedStockFused = w.ds, w.snaps, w.fused
+		for d := 1; d < len(w.snaps); d++ {
+			dl, err := w.snaps[d-1].Diff(w.snaps[d])
+			if err != nil {
+				panic(err)
+			}
+			plannedStockDeltas = append(plannedStockDeltas, dl)
+		}
+	})
+	return plannedStockDS, plannedStockSnaps, plannedStockDeltas, plannedStockFused
+}
+
+func BenchmarkPlannedAdvanceHighChurn(b *testing.B) {
+	ds, snaps, deltas, fused := plannedStockWorld(b)
+	benchPlannedAdvance(b, ds, snaps, deltas, fused, &Planner{Mode: PlannerAuto})
+}
+
+func BenchmarkPlannedAdvanceHighChurnForcedFull(b *testing.B) {
+	ds, snaps, deltas, fused := plannedStockWorld(b)
+	benchPlannedAdvance(b, ds, snaps, deltas, fused,
+		&Planner{Mode: PlannerForced, ForcePath: ModeFull})
+}
+
 // Serving-layer benchmarks (the "millions of users" axis): handler
 // throughput on point queries against the served Stock world, and the
 // store's persist/load round trip. Both are in the benchpairs gate;

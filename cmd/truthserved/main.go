@@ -76,6 +76,8 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "fusion worker count (0 = GOMAXPROCS, 1 = serial)")
 		shards      = flag.Int("shards", 0, "item shards (0/1 = flat engine); answers are bit-identical at any count")
 		maxResident = flag.Int("max-resident-shards", 0, "with -shards: shard arenas kept in memory at once (0 = all)")
+		plan        = flag.String("plan", "auto", "execution planning per refresh: auto (churn-aware) or a forced path: full, warm, local")
+		trustTol    = flag.Float64("trust-tolerance", 0, "enable the approximate dirty-only warm path: max per-source trust drift before falling back to full (0 = exact)")
 		ingest      = flag.Bool("ingest", true, "accept live claims on POST /v1/claims (single-snapshot worlds only)")
 		ingestFlush = flag.Int("ingest-flush", 256, "flush the pending ingest set at this many distinct (item, source) keys")
 		ingestAge   = flag.Duration("ingest-age", 250*time.Millisecond, "flush a non-empty pending ingest set after this age")
@@ -90,10 +92,21 @@ func main() {
 	// Validate the flag combination up front, exactly as cmd/fuse does:
 	// negative knobs and -max-resident-shards without -shards are usage
 	// errors, not silent no-ops.
+	var planner *td.Planner
+	switch *plan {
+	case "auto":
+		planner = &td.Planner{Mode: td.PlannerAuto}
+	case "full", "warm", "local":
+		planner = &td.Planner{Mode: td.PlannerForced, ForcePath: td.AdvanceMode(*plan)}
+	default:
+		usageError(fmt.Sprintf("-plan must be auto, full, warm or local, got %q", *plan))
+	}
 	opts := td.FuseOptions{
 		Parallelism:       *parallel,
 		Shards:            *shards,
 		MaxResidentShards: *maxResident,
+		TrustTolerance:    *trustTol,
+		Planner:           planner,
 	}
 	if err := opts.Validate(); err != nil {
 		usageError(err.Error())
@@ -189,7 +202,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "truthserved: live ingest disabled: the input is a multi-day stream (POST /v1/claims will answer 503)")
 	}
 
-	eo := serve.EngineOptions{Parallelism: *parallel, Shards: *shards, MaxResidentShards: *maxResident}
+	eo := serve.EngineOptions{
+		Parallelism: *parallel, Shards: *shards, MaxResidentShards: *maxResident,
+		TrustTolerance: *trustTol, Planner: planner,
+	}
 	fo := fusion.Options{Parallelism: *parallel}
 	srv := serve.NewServer()
 	if *shards > 1 {
@@ -298,6 +314,9 @@ func main() {
 				}
 				fmt.Printf("truthserved: refreshed to version %d (%s, %s advance, %d/%d items dirty)\n",
 					v.Version, v.Label, stats.Mode, stats.DirtyItems, stats.TotalItems)
+				if stats.Plan != nil {
+					fmt.Printf("truthserved: plan: %s\n", stats.Plan.Reason)
+				}
 			}
 			fmt.Println("truthserved: delta stream exhausted; serving the final version")
 		}()

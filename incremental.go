@@ -125,7 +125,7 @@ func FuseIncremental(ds *Dataset, prev *FusedState, delta *Delta, method string,
 	st, stats, err := prev.st.Advance(ds, delta, fusion.Options{
 		KnownGroups: opts.KnownCopyGroups,
 		Parallelism: opts.Parallelism,
-	}, fusion.IncrementalOptions{TrustTolerance: opts.TrustTolerance})
+	}, fusion.IncrementalOptions{TrustTolerance: opts.TrustTolerance, Planner: opts.Planner})
 	if err != nil {
 		return nil, nil, err
 	}

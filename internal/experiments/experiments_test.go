@@ -28,7 +28,7 @@ func TestRegistry(t *testing.T) {
 		"figure4", "figure5", "figure6", "figure7", "table4", "figure8",
 		"table5", "table6", "table7", "figure9", "figure10", "table8",
 		"figure11", "figure12", "table9", "accucopy-ablation", "tolerance-sweep",
-		"incremental", "sharded", "sharded-incremental",
+		"incremental", "sharded", "sharded-incremental", "planner",
 		"ensemble", "seed-trust", "category-trust", "source-selection",
 	}
 	if len(all) != len(wantIDs) {

@@ -56,6 +56,9 @@ func All() []Experiment {
 		{ID: "sharded", Title: "Sharded vs flat fusion (bit-identical, bounded memory)", Run: ShardedFusion},
 		// Same tolerance re-derivation as the incremental exhibit.
 		{ID: "sharded-incremental", Title: "Sharded incremental fusion over the period", Exclusive: true, Run: ShardedIncremental},
+		// Same tolerance re-derivation again: the planner exhibit replays
+		// the period as deltas under adaptive path selection.
+		{ID: "planner", Title: "Adaptive execution planning over the period", Exclusive: true, Run: PlannedFusion},
 		{ID: "ensemble", Title: "Combining fusion models (Section 5)", Run: EnsembleExperiment},
 		{ID: "seed-trust", Title: "Seeding trust from consistent items (Section 5)", Run: SeedTrustExperiment},
 		{ID: "category-trust", Title: "Per-category source trust (Section 5)", Run: CategoryTrustExperiment},

@@ -46,7 +46,7 @@ func TestRunAllParallelMatchesSerial(t *testing.T) {
 // shared environment; adding a new mutating experiment without marking it
 // Exclusive is a RunAll data race waiting to happen.
 func TestExclusiveMarking(t *testing.T) {
-	want := map[string]bool{"table9": true, "tolerance-sweep": true, "incremental": true, "sharded-incremental": true}
+	want := map[string]bool{"table9": true, "tolerance-sweep": true, "incremental": true, "sharded-incremental": true, "planner": true}
 	for _, x := range All() {
 		if x.Exclusive != want[x.ID] {
 			t.Errorf("experiment %s: Exclusive = %v, want %v", x.ID, x.Exclusive, want[x.ID])

@@ -446,6 +446,11 @@ type Result struct {
 	Rounds     int
 	Converged  bool
 	Elapsed    time.Duration
+	// Plan records the execution decision that produced this result on
+	// the incremental paths (State.Advance / ShardedState.Advance): the
+	// chosen path and layout plus the measured delta features the planner
+	// decided on. Nil for from-scratch runs.
+	Plan *Plan
 }
 
 // Method is one fusion algorithm.

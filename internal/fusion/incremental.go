@@ -66,6 +66,13 @@ type IncrementalOptions struct {
 	// output always take the full path, so answers are bit-identical to a
 	// from-scratch fuse of the target snapshot.
 	TrustTolerance float64
+	// Planner, when set, plans the advance path from the measured delta
+	// features (churn fraction, shard fan-out) instead of the legacy
+	// tolerance-only gating — PlannerAuto applies the churn ceiling to
+	// the warm path, PlannerForced executes exactly the named path. Nil
+	// keeps the legacy gating. Either way the decision is recorded on
+	// Result.Plan and IncrementalStats.Plan.
+	Planner *Planner
 }
 
 // AdvanceMode names the path Advance took.
@@ -91,6 +98,9 @@ type IncrementalStats struct {
 	// Fallback is set when the warm path was attempted but abandoned
 	// because the trust vector drifted past the tolerance.
 	Fallback bool
+	// Plan is the recorded execution decision (same pointer as
+	// Result.Plan).
+	Plan *Plan
 }
 
 // ItemLocal is implemented by methods whose output on an item depends only
@@ -144,7 +154,21 @@ func (st *State) Advance(ds *model.Dataset, delta *model.Delta, opts Options, in
 	next := &State{Snap: snap, Problem: p, method: st.method, buildOpts: st.buildOpts}
 	start := time.Now()
 
-	if lm, ok := st.method.(ItemLocal); ok {
+	lm, isLocal := st.method.(ItemLocal)
+	ac, isAccu := st.method.(accuConfigured)
+	plan := computePlan(inc.Planner, LayoutFlat,
+		planCaps{itemLocal: isLocal, warmable: isAccu && inc.TrustTolerance > 0},
+		PlanFeatures{
+			DirtyItems: len(rebuilt),
+			TotalItems: len(p.Items),
+			ArenaBytes: problemArenaBytes(p),
+		}, opts.Parallelism, 0)
+	stats.Plan = &plan
+
+	if plan.Path == ModeLocal {
+		if !isLocal {
+			return nil, IncrementalStats{}, forcedPathError(plan.Path, st.method.Name())
+		}
 		chosen := make([]int32, len(p.Items))
 		for i, pi := range prevIdx {
 			if pi >= 0 {
@@ -158,22 +182,29 @@ func (st *State) Advance(ds *model.Dataset, delta *model.Delta, opts Options, in
 			Rounds:    1,
 			Converged: true,
 			Elapsed:   time.Since(start),
+			Plan:      &plan,
 		}
 		stats.Mode = ModeLocal
 		return next, stats, nil
 	}
 
-	if ac, ok := st.method.(accuConfigured); ok && inc.TrustTolerance > 0 {
+	if plan.Path == ModeWarm {
+		if !isAccu || inc.TrustTolerance <= 0 {
+			return nil, IncrementalStats{}, forcedPathError(plan.Path, st.method.Name())
+		}
 		if res, ok := accuWarm(p, opts, ac.accuCfg(), st.Result, prevIdx, rebuilt, inc.TrustTolerance); ok {
 			res.Elapsed = time.Since(start)
+			res.Plan = &plan
 			next.Result = res
 			stats.Mode = ModeWarm
 			return next, stats, nil
 		}
 		stats.Fallback = true
+		plan.fellBack()
 	}
 
 	next.Result = st.method.Run(p, opts)
+	next.Result.Plan = &plan
 	stats.Mode = ModeFull
 	return next, stats, nil
 }

@@ -45,10 +45,14 @@ func NewShardedState(ds *model.Dataset, snap *model.Snapshot, sources []model.So
 // delta is split by item shard; each shard applies its slice to its own
 // snapshot and maintains its problem incrementally (only that shard's
 // dirty items are re-bucketized). Item-local methods (VOTE) then
-// recompute exactly the dirty items; every other method re-runs the full
-// sharded iteration on the maintained problems — the warm dirty-only
-// path is a flat-engine optimisation and is not offered here, so sharded
-// advances are always exact regardless of IncrementalOptions.
+// recompute exactly the dirty items; with a positive TrustTolerance the
+// ACCU family runs the warm dirty-only iteration per shard (posteriors
+// recomputed only for each shard's rebuilt items, trust re-estimated
+// through the deterministic cross-shard merge, drift fallback to the
+// full run — the exact sharded port of the flat warm path); everything
+// else re-runs the full sharded iteration on the maintained problems.
+// At zero tolerance every path is bit-identical to a full Fuse of the
+// target snapshot, exactly as on the flat engine.
 //
 // The receiver stays valid: earlier states of a stream can be advanced
 // again (e.g. to branch a what-if delta), except under a memory budget,
@@ -82,7 +86,10 @@ func (st *ShardedState) Advance(ds *model.Dataset, delta *model.Delta, opts Opti
 	// was untouched and aligns identically).
 	rebuiltOf := make([][]int, len(sp.parts))
 	prevIdxOf := make([][]int, len(sp.parts))
-	_, isLocal := st.method.(ItemLocal)
+	lm, isLocal := st.method.(ItemLocal)
+	ac, isAccu := st.method.(accuConfigured)
+	warmable := isAccu && inc.TrustTolerance > 0
+	dirtyShards := 0
 
 	for k, pt := range sp.parts {
 		if parts[k].Empty() {
@@ -92,6 +99,7 @@ func (st *ShardedState) Advance(ds *model.Dataset, delta *model.Delta, opts Opti
 			next.parts = append(next.parts, pt.carryForward())
 			continue
 		}
+		dirtyShards++
 		newSnap, err := pt.snap.Apply(parts[k])
 		if err != nil {
 			return nil, IncrementalStats{}, err
@@ -105,7 +113,7 @@ func (st *ShardedState) Advance(ds *model.Dataset, delta *model.Delta, opts Opti
 			npt.p = p
 		}
 		rebuiltOf[k] = rebuilt
-		if isLocal {
+		if isLocal || warmable {
 			prevIdxOf[k] = alignItems(p, prevP, rebuilt)
 		}
 		stats.DirtyItems += len(rebuilt)
@@ -118,7 +126,22 @@ func (st *ShardedState) Advance(ds *model.Dataset, delta *model.Delta, opts Opti
 	out := &ShardedState{Sharded: next, method: st.method}
 	start := time.Now()
 
-	if lm, ok := st.method.(ItemLocal); ok {
+	arenaTotal, _ := next.ArenaBytes()
+	plan := computePlan(inc.Planner, LayoutSharded,
+		planCaps{itemLocal: isLocal, warmable: warmable},
+		PlanFeatures{
+			DirtyItems:  stats.DirtyItems,
+			TotalItems:  stats.TotalItems,
+			DirtyShards: dirtyShards,
+			TotalShards: len(next.parts),
+			ArenaBytes:  arenaTotal,
+		}, opts.Parallelism, next.MaxResident)
+	stats.Plan = &plan
+
+	if plan.Path == ModeLocal {
+		if !isLocal {
+			return nil, IncrementalStats{}, forcedPathError(plan.Path, st.method.Name())
+		}
 		// Item-local fast path: clean items keep the previous answers,
 		// dirty items are recomputed shard by shard.
 		chosen := make([]int32, next.NumItems())
@@ -152,15 +175,33 @@ func (st *ShardedState) Advance(ds *model.Dataset, delta *model.Delta, opts Opti
 			Rounds:    1,
 			Converged: true,
 			Elapsed:   time.Since(start),
+			Plan:      &plan,
 		}
 		stats.Mode = ModeLocal
 		return out, stats, nil
+	}
+
+	if plan.Path == ModeWarm {
+		if !warmable {
+			return nil, IncrementalStats{}, forcedPathError(plan.Path, st.method.Name())
+		}
+		if res, ok := accuWarmSharded(next, sp, opts, ac.accuCfg(), st.Result,
+			prevIdxOf, rebuiltOf, inc.TrustTolerance); ok {
+			res.Elapsed = time.Since(start)
+			res.Plan = &plan
+			out.Result = res
+			stats.Mode = ModeWarm
+			return out, stats, nil
+		}
+		stats.Fallback = true
+		plan.fellBack()
 	}
 
 	res, err := next.Run(st.method, opts)
 	if err != nil {
 		return nil, IncrementalStats{}, err
 	}
+	res.Plan = &plan
 	out.Result = res
 	stats.Mode = ModeFull
 	return out, stats, nil

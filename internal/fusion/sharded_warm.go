@@ -1,0 +1,186 @@
+package fusion
+
+import "truthdiscovery/internal/parallel"
+
+// The sharded port of the flat engine's dirty-only warm path (accuWarm):
+// posteriors are recomputed only for each shard's rebuilt items — the
+// per-shard dirty worklists Delta.Split/UpdateProblem already maintain —
+// while trust is re-estimated over the full item set through the existing
+// deterministic cross-shard merge (sweep folds items in global item
+// order, the flat engine's exact association). Clean items share the
+// previous result's posterior rows read-only; the iteration is accepted
+// only while no trust entry drifts more than tol from the previous
+// converged trust, falling back to the full sharded run past it. On the
+// same snapshot and tolerance the result is bit-identical to the flat
+// accuWarm: same tables, same pure per-item posterior kernel, same fold
+// order, same drift test.
+
+// accuWarmSharded runs the warm dirty-only iteration over the shard set.
+// next is the advanced shard set, prevSP the shard set the previous
+// result was computed on (same shard spec; its gidx maps previous local
+// indices to previous global rows). rebuiltOf[k] lists shard k's rebuilt
+// item indices and prevIdxOf[k] aligns its new items to the old ones (nil
+// for untouched shards, whose item lists are unchanged). Returns ok=false
+// — the caller re-runs the full sharded iteration — when the drift bound
+// trips, when sampled trust is supplied, or when the previous result
+// lacks the needed state.
+func accuWarmSharded(next, prevSP *ShardedProblem, opts Options, cfg accuConfig,
+	prev *Result, prevIdxOf, rebuiltOf [][]int, tol float64) (*Result, bool) {
+
+	opts = opts.withDefaults()
+	if opts.InputTrust != nil || (cfg.perAttr && opts.InputAttrTrust != nil) {
+		return nil, false
+	}
+	if prev.Posteriors == nil || prev.Chosen == nil {
+		return nil, false
+	}
+	n := len(next.SourceIDs)
+	numKeys, keyAt := shardedKeySetup(next, cfg)
+	trust := &accuTrust{keyed: numKeys > 0}
+	var baseGlobal []float64
+	var baseKeyed [][]float64
+	if trust.keyed {
+		if prev.AttrTrust == nil {
+			return nil, false // keyed state not carried
+		}
+		trust.byKey = make([][]float64, len(prev.AttrTrust))
+		baseKeyed = make([][]float64, len(prev.AttrTrust))
+		for s := range prev.AttrTrust {
+			if len(prev.AttrTrust[s]) != numKeys {
+				return nil, false
+			}
+			trust.byKey[s] = append([]float64(nil), prev.AttrTrust[s]...)
+			baseKeyed[s] = prev.AttrTrust[s]
+		}
+	} else {
+		if prev.Trust == nil {
+			return nil, false
+		}
+		trust.global = append([]float64(nil), prev.Trust...)
+		baseGlobal = prev.Trust
+	}
+
+	// Posteriors: clean items share the previous rows (read-only, mapped
+	// through the previous shard set's local->global index), rebuilt items
+	// get fresh rows sized from the recorded bucket offsets. The fresh
+	// rows are fully rewritten by the first posterior phase before any
+	// fold reads them, exactly as on the flat warm path.
+	probs := make([][]float64, next.NumItems())
+	chosen := make([]int32, next.NumItems())
+	for k, npt := range next.parts {
+		prevGidx := prevSP.parts[k].gidx
+		if prevIdxOf[k] == nil {
+			// Untouched shard: item lists are identical, rows carry over
+			// index for index.
+			for i, g := range npt.gidx {
+				pg := prevGidx[i]
+				probs[g] = prev.Posteriors[pg]
+				chosen[g] = prev.Chosen[pg]
+			}
+			continue
+		}
+		for i, g := range npt.gidx {
+			if pi := prevIdxOf[k][i]; pi >= 0 {
+				pg := prevGidx[pi]
+				probs[g] = prev.Posteriors[pg]
+				chosen[g] = prev.Chosen[pg]
+			} else {
+				probs[g] = make([]float64, npt.off[i+1]-npt.off[i])
+			}
+		}
+	}
+
+	res := &Result{Method: cfg.name}
+	width := n
+	if numKeys > 0 {
+		width *= numKeys
+	}
+	sc := &accuScratch{next: make([]float64, width), cnt: make([]float64, width)}
+	tables := newAccuTables(n, numKeys, opts, cfg)
+	// Per-shard popularity tables, lazily built on a shard's first dirty
+	// phase (untouched shards never need one — their items are never
+	// re-scored).
+	var popTabs []*popTable
+	if cfg.popularity {
+		popTabs = make([]*popTable, len(next.parts))
+	}
+	temps := next.newPartTemps(opts.Parallelism)
+
+	phase := func(k int, p *Problem, par int) {
+		idx := rebuiltOf[k]
+		if len(idx) == 0 {
+			return
+		}
+		var pt *popTable
+		if popTabs != nil {
+			if popTabs[k] == nil {
+				popTabs[k] = newPopTable(p)
+			}
+			pt = popTabs[k]
+		}
+		gi := next.parts[k].gidx
+		parallel.ForWorker(len(idx), innerWorkers(par, temps[k]), func(worker, lo, hi int) {
+			tmp := temps[k].rows[worker]
+			for j := lo; j < hi; j++ {
+				i := idx[j]
+				var popLg, popCnt []float64
+				if pt != nil {
+					popLg, popCnt = pt.rows(i)
+				}
+				g := gi[i]
+				chosen[g] = accuPosterior(p, i, opts, cfg, tables.row(keyAt(k, p, i)), popLg, popCnt, nil, probs[g], tmp)
+			}
+		})
+	}
+	fold := func(k int, p *Problem, i, g int) {
+		if trust.keyed {
+			accuFoldKeyed(&p.Items[i], int(keyAt(k, p, i)), numKeys, probs[g], sc.next, sc.cnt)
+		} else {
+			accuFoldGlobal(&p.Items[i], probs[g], sc.next, sc.cnt)
+		}
+	}
+
+	for round := 1; ; round++ {
+		res.Rounds = round
+		tables.update(trust)
+		clear(sc.next)
+		clear(sc.cnt)
+		next.sweep(opts.Parallelism, phase, fold)
+		var delta float64
+		if trust.keyed {
+			delta = accuKeyedTail(trust, numKeys, sc.next, sc.cnt)
+		} else {
+			delta = accuGlobalTail(trust, sc)
+		}
+		if drift := trustDrift(trust, baseGlobal, baseKeyed); drift > tol {
+			return nil, false
+		}
+		if delta < opts.Epsilon || round >= opts.MaxRounds {
+			res.Converged = delta < opts.Epsilon
+			break
+		}
+	}
+
+	// Finish: the sharded analogue of accuFinish, folding in global item
+	// order.
+	if trust.keyed {
+		if cfg.perAttr {
+			res.AttrTrust = trust.byKey
+		}
+		res.Trust = make([]float64, n)
+		claims := make([]float64, n)
+		next.sweep(opts.Parallelism, nil, func(k int, p *Problem, i, g int) {
+			accuMeanFold(&p.Items[i], keyAt(k, p, i), trust.byKey, res.Trust, claims)
+		})
+		for s := range res.Trust {
+			if claims[s] > 0 {
+				res.Trust[s] /= claims[s]
+			}
+		}
+	} else {
+		res.Trust = trust.global
+	}
+	res.Chosen = chosen
+	res.Posteriors = probs
+	return res, true
+}

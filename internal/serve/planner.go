@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync"
+
+	"truthdiscovery/internal/fusion"
+)
+
+// The planner object is part of the v1 stats contract, next to topology:
+// every advance's execution decision — which path ran, why, and the
+// measured delta features it was decided on — is recorded in a small
+// ring so an operator can audit the adaptive engine without scraping
+// logs. The refresher records one decision per applied delta (the daily
+// loop and the live claim-ingest flush path both go through Apply, so
+// both are covered).
+
+// PlannerDecision is one recorded advance decision, newest first in the
+// stats output.
+type PlannerDecision struct {
+	// Version is the view version the advance published.
+	Version uint64 `json:"version"`
+	// Day is the stream day the advance moved the engine to.
+	Day int `json:"day"`
+	// Path is the executed path: "local", "warm" or "full".
+	Path string `json:"path"`
+	// Layout is the engine layout: "flat" or "sharded".
+	Layout string `json:"layout"`
+	// Forced marks a PlannerForced decision.
+	Forced bool `json:"forced,omitempty"`
+	// Fallback marks a warm attempt that drifted past the tolerance and
+	// re-ran the full iteration (Path is then the fallback path).
+	Fallback bool `json:"fallback,omitempty"`
+	// Reason is the planner's human-readable decision trace.
+	Reason string `json:"reason"`
+	// Features are the measured delta features the decision was made on.
+	Features fusion.PlanFeatures `json:"features"`
+}
+
+// plannerRingSize is how many decisions /v1/stats keeps; older ones
+// rotate out.
+const plannerRingSize = 16
+
+// plannerRing is a fixed-size ring of the latest decisions. It takes a
+// mutex — records happen once per applied delta, far off any read hot
+// path (stats reads are rare and cheap).
+type plannerRing struct {
+	mu  sync.Mutex
+	buf [plannerRingSize]PlannerDecision
+	n   uint64 // total decisions ever recorded
+}
+
+// RecordPlan appends one advance decision to the stats ring.
+func (s *Server) RecordPlan(d PlannerDecision) {
+	s.plans.mu.Lock()
+	s.plans.buf[s.plans.n%plannerRingSize] = d
+	s.plans.n++
+	s.plans.mu.Unlock()
+}
+
+// PlannerDecisions returns the recorded decisions, newest first, plus
+// the total ever recorded (the ring keeps the latest plannerRingSize).
+func (s *Server) PlannerDecisions() ([]PlannerDecision, uint64) {
+	s.plans.mu.Lock()
+	defer s.plans.mu.Unlock()
+	n := s.plans.n
+	kept := n
+	if kept > plannerRingSize {
+		kept = plannerRingSize
+	}
+	out := make([]PlannerDecision, 0, kept)
+	for i := uint64(0); i < kept; i++ {
+		out = append(out, s.plans.buf[(n-1-i)%plannerRingSize])
+	}
+	return out, n
+}
+
+// plannerStats renders the planner object for /v1/stats.
+func (s *Server) plannerStats() map[string]any {
+	decisions, total := s.PlannerDecisions()
+	return map[string]any{
+		"recorded":  total,
+		"decisions": decisions,
+	}
+}

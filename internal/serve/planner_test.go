@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// decodeStatsPlanner pulls the planner object out of a /v1/stats payload.
+func decodeStatsPlanner(t *testing.T, ts *httptest.Server) (float64, []map[string]any) {
+	t.Helper()
+	var stats map[string]any
+	getJSON(t, ts, "/v1/stats", http.StatusOK, &stats)
+	obj, ok := stats["planner"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats payload has no planner object: %v", stats)
+	}
+	recorded, ok := obj["recorded"].(float64)
+	if !ok {
+		t.Fatalf("planner object has no recorded count: %v", obj)
+	}
+	raw, ok := obj["decisions"].([]any)
+	if !ok {
+		t.Fatalf("planner object has no decisions list: %v", obj)
+	}
+	var decisions []map[string]any
+	for _, d := range raw {
+		m, ok := d.(map[string]any)
+		if !ok {
+			t.Fatalf("decision is not an object: %v", d)
+		}
+		decisions = append(decisions, m)
+	}
+	return recorded, decisions
+}
+
+// TestStatsPlanner: /v1/stats carries a planner object next to topology —
+// empty on a fresh server, and holding one decision per applied delta
+// with the executed path, layout, day and the measured features.
+func TestStatsPlanner(t *testing.T) {
+	w := buildWorld(t)
+	r, srv := newRefresher(t, w, "AccuPr", false)
+	if _, err := r.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	recorded, decisions := decodeStatsPlanner(t, ts)
+	if recorded != 0 || len(decisions) != 0 {
+		t.Fatalf("fresh server: %v recorded, %d decisions, want none", recorded, len(decisions))
+	}
+
+	v, stats, err := r.Apply(w.delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan == nil {
+		t.Fatal("advance recorded no plan in its stats")
+	}
+
+	recorded, decisions = decodeStatsPlanner(t, ts)
+	if recorded != 1 || len(decisions) != 1 {
+		t.Fatalf("after one apply: %v recorded, %d decisions, want 1/1", recorded, len(decisions))
+	}
+	d := decisions[0]
+	if got := d["path"]; got != "local" && got != "warm" && got != "full" {
+		t.Fatalf("decision path %v is not a recognized mode", got)
+	}
+	if got := d["path"]; got != string(stats.Plan.Path) {
+		t.Fatalf("decision path %v, engine ran %s", got, stats.Plan.Path)
+	}
+	if got := d["layout"]; got != "flat" {
+		t.Fatalf("decision layout %v, want flat", got)
+	}
+	if got := d["version"]; got != float64(v.Version) {
+		t.Fatalf("decision version %v, want %d", got, v.Version)
+	}
+	if got := d["day"]; got != float64(w.delta.ToDay) {
+		t.Fatalf("decision day %v, want %d", got, w.delta.ToDay)
+	}
+	if d["reason"] == "" {
+		t.Fatal("decision carries no reason")
+	}
+	feats, ok := d["features"].(map[string]any)
+	if !ok {
+		t.Fatalf("decision carries no features: %v", d)
+	}
+	if got, _ := feats["total_items"].(float64); got != float64(len(w.ds.Items)) {
+		t.Fatalf("features report %v total items, want %d", feats["total_items"], len(w.ds.Items))
+	}
+}
+
+// TestStatsPlannerIngestFlush: the live claim-ingest flush goes through
+// the same Apply, so an awaited write lands a decision in the stats ring
+// stamped with the version the flush published.
+func TestStatsPlannerIngestFlush(t *testing.T) {
+	_, ing, _, ts := armIngest(t, "Vote", IngestConfig{MaxBatch: 1 << 20, MaxAge: time.Hour})
+	ing.Start()
+	t.Cleanup(func() { _ = ing.Close() })
+
+	resp, ack := postClaimsWait(t, ts, "/v1/claims?wait=1",
+		`{"claims":[{"source":"src0","object":"obj01","attribute":"price","value":"99.5"}]}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("awaited post: status %d, want 200", resp.StatusCode)
+	}
+
+	recorded, decisions := decodeStatsPlanner(t, ts)
+	if recorded != 1 || len(decisions) != 1 {
+		t.Fatalf("after awaited ingest: %v recorded, %d decisions, want 1/1", recorded, len(decisions))
+	}
+	d := decisions[0]
+	if got := d["version"]; got != float64(ack.Version) {
+		t.Fatalf("decision version %v, ingest published %d", got, ack.Version)
+	}
+	// Vote is item-local: the planner routes a live flush down the
+	// cheapest path.
+	if got := d["path"]; got != "local" {
+		t.Fatalf("decision path %v, want local for an item-local method", got)
+	}
+}
+
+// TestPlannerRingRotation: the stats ring keeps the newest
+// plannerRingSize decisions, newest first, while the recorded total
+// keeps counting.
+func TestPlannerRingRotation(t *testing.T) {
+	srv := NewServer()
+	const total = plannerRingSize + 7
+	for i := 0; i < total; i++ {
+		srv.RecordPlan(PlannerDecision{Version: uint64(i + 1), Day: i})
+	}
+	decisions, n := srv.PlannerDecisions()
+	if n != total {
+		t.Fatalf("recorded %d, want %d", n, total)
+	}
+	if len(decisions) != plannerRingSize {
+		t.Fatalf("ring kept %d decisions, want %d", len(decisions), plannerRingSize)
+	}
+	for i, d := range decisions {
+		if want := uint64(total - i); d.Version != want {
+			t.Fatalf("decision %d has version %d, want %d (newest first)", i, d.Version, want)
+		}
+	}
+}

@@ -159,6 +159,18 @@ func (r *Refresher) Apply(dl *model.Delta) (*View, fusion.IncrementalStats, erro
 	}
 	r.day, r.label = dl.ToDay, dl.ToLabel
 	v, err := r.publish(r.viewNow())
+	if err == nil && v != nil && stats.Plan != nil && r.Server != nil {
+		r.Server.RecordPlan(PlannerDecision{
+			Version:  v.Version,
+			Day:      r.day,
+			Path:     string(stats.Plan.Path),
+			Layout:   string(stats.Plan.Layout),
+			Forced:   stats.Plan.Forced,
+			Fallback: stats.Fallback,
+			Reason:   stats.Plan.Reason,
+			Features: stats.Plan.Features,
+		})
+	}
 	return v, stats, err
 }
 

@@ -31,6 +31,7 @@ type Server struct {
 	lastSwap    atomic.Int64 // unix seconds of the latest swap
 	started     time.Time
 	topo        atomic.Pointer[Topology]
+	plans       plannerRing
 	extraStats  atomic.Pointer[func() map[string]any]
 
 	// ing, when set before Handler is used, enables POST /v1/claims.
@@ -465,6 +466,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"api":            "v1",
 		"topology":       s.Topology(),
+		"planner":        s.plannerStats(),
 	}
 	if last := s.lastSwap.Load(); last != 0 {
 		out["last_swap_unix"] = last

@@ -114,8 +114,9 @@ func sourceNamesFor(ds *model.Dataset, roster []model.SourceID) []string {
 }
 
 // EngineOptions mirror the execution knobs of the public FuseOptions
-// that pick and configure a serving engine. They are execution choices
-// only — answers are bit-identical at any setting.
+// that pick and configure a serving engine. Except for TrustTolerance
+// (an explicitly approximate knob) they are execution choices only —
+// answers are bit-identical at any setting.
 type EngineOptions struct {
 	// Parallelism bounds the fusion worker pool (0 = GOMAXPROCS,
 	// 1 = serial).
@@ -126,6 +127,15 @@ type EngineOptions struct {
 	// MaxResidentShards (with Shards > 1) bounds how many shard arenas
 	// stay resident at once (0 = all).
 	MaxResidentShards int
+	// TrustTolerance > 0 enables the dirty-only warm path on every
+	// advance (both engines), falling back to the exact full iteration
+	// when any source's trust drifts past it. 0 keeps every advance
+	// bit-identical to a full Fuse.
+	TrustTolerance float64
+	// Planner, when set, plans each advance's execution path from the
+	// delta's measured features (see fusion.Planner). The decision lands
+	// in every advance's IncrementalStats and is surfaced by /v1/stats.
+	Planner *fusion.Planner
 }
 
 // NewEngine builds the serving engine the options call for: the flat
@@ -137,10 +147,21 @@ type EngineOptions struct {
 func NewEngine(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID,
 	method string, opts EngineOptions) (Engine, error) {
 	fo := fusion.Options{Parallelism: opts.Parallelism}
+	inc := fusion.IncrementalOptions{TrustTolerance: opts.TrustTolerance, Planner: opts.Planner}
 	if opts.Shards > 1 {
-		return NewShardedEngine(ds, snap, sources, method, opts.Shards, opts.MaxResidentShards, fo)
+		eng, err := NewShardedEngine(ds, snap, sources, method, opts.Shards, opts.MaxResidentShards, fo)
+		if err != nil {
+			return nil, err
+		}
+		eng.inc = inc
+		return eng, nil
 	}
-	return NewFlatEngine(ds, snap, sources, method, fo)
+	eng, err := NewFlatEngine(ds, snap, sources, method, fo)
+	if err != nil {
+		return nil, err
+	}
+	eng.inc = inc
+	return eng, nil
 }
 
 // Engine is the fusion backend a Refresher advances across the delta
@@ -158,7 +179,12 @@ type Engine interface {
 }
 
 // FlatEngine serves the flat stateful engine (fusion.State).
-type FlatEngine struct{ st *fusion.State }
+type FlatEngine struct {
+	st *fusion.State
+	// inc are the incremental options (trust tolerance, planner) every
+	// Advance runs with; NewEngine sets them from EngineOptions.
+	inc fusion.IncrementalOptions
+}
 
 // NewFlatEngine fuses the snapshot once and wraps the reusable state.
 func NewFlatEngine(ds *model.Dataset, snap *model.Snapshot, sources []model.SourceID,
@@ -177,7 +203,7 @@ func (e *FlatEngine) Current(ds *model.Dataset) ([]fusion.Answer, *fusion.Result
 }
 
 func (e *FlatEngine) Advance(ds *model.Dataset, dl *model.Delta, opts fusion.Options) (fusion.IncrementalStats, error) {
-	next, stats, err := e.st.Advance(ds, dl, opts, fusion.IncrementalOptions{})
+	next, stats, err := e.st.Advance(ds, dl, opts, e.inc)
 	if err != nil {
 		return stats, err
 	}
@@ -186,7 +212,12 @@ func (e *FlatEngine) Advance(ds *model.Dataset, dl *model.Delta, opts fusion.Opt
 }
 
 // ShardedEngine serves the sharded stateful engine (fusion.ShardedState).
-type ShardedEngine struct{ st *fusion.ShardedState }
+type ShardedEngine struct {
+	st *fusion.ShardedState
+	// inc are the incremental options (trust tolerance, planner) every
+	// Advance runs with; NewEngine sets them from EngineOptions.
+	inc fusion.IncrementalOptions
+}
 
 // NewShardedEngine fuses the snapshot over the shard set and wraps the
 // reusable state.
@@ -214,7 +245,7 @@ func (e *ShardedEngine) Current(ds *model.Dataset) ([]fusion.Answer, *fusion.Res
 }
 
 func (e *ShardedEngine) Advance(ds *model.Dataset, dl *model.Delta, opts fusion.Options) (fusion.IncrementalStats, error) {
-	next, stats, err := e.st.Advance(ds, dl, opts, fusion.IncrementalOptions{})
+	next, stats, err := e.st.Advance(ds, dl, opts, e.inc)
 	if err != nil {
 		return stats, err
 	}

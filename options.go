@@ -28,6 +28,22 @@ func (o FuseOptions) Validate() error {
 	if o.TrustTolerance < 0 {
 		return fmt.Errorf("truthdiscovery: TrustTolerance must be >= 0, got %g", o.TrustTolerance)
 	}
+	if o.Planner != nil {
+		if err := o.Planner.Validate(); err != nil {
+			return err
+		}
+		// The forced layout must be executable with the configured shard
+		// count: a live state has one layout, and forcing the other one
+		// would silently run something else.
+		if o.Planner.Mode == PlannerForced {
+			if o.Planner.ForceLayout == LayoutSharded && o.Shards <= 1 {
+				return fmt.Errorf("truthdiscovery: forced plan layout %q needs Shards > 1, got %d", LayoutSharded, o.Shards)
+			}
+			if o.Planner.ForceLayout == LayoutFlat && o.Shards > 1 {
+				return fmt.Errorf("truthdiscovery: forced plan layout %q conflicts with Shards = %d", LayoutFlat, o.Shards)
+			}
+		}
+	}
 	return nil
 }
 
@@ -35,8 +51,12 @@ func (o FuseOptions) Validate() error {
 // option that can change the fused answers: the source roster, the
 // sampled-trust gold table (by content — item, exact value bits), known
 // copy groups and the incremental trust tolerance. Execution knobs —
-// Parallelism, Shards, MaxResidentShards — are excluded on purpose: they
-// are bit-identical execution choices. The serving layer stores the
+// Parallelism, Shards, MaxResidentShards, and the planner's layout/arena
+// knobs — are excluded on purpose: they are bit-identical execution
+// choices. The planner's path-affecting knobs (mode, warm ceiling,
+// forced path) join the digest only under a positive TrustTolerance,
+// where warm-vs-full is an approximate choice; at zero tolerance every
+// path is bit-identical and the planner cannot change an answer. The serving layer stores the
 // fingerprint with each persisted run so a server restart can tell
 // whether a run on disk answers for the configuration it was started
 // with (pair it with Snapshot.Digest to also cover the input data).
@@ -64,6 +84,9 @@ func (o FuseOptions) Fingerprint(method string) string {
 			fmt.Fprintf(h, "%d,", s)
 		}
 		fmt.Fprint(h, "|")
+	}
+	if o.TrustTolerance > 0 && o.Planner != nil {
+		fmt.Fprintf(h, ";planner=%s:%g:%s", o.Planner.Mode, o.Planner.WarmChurnCeiling, o.Planner.ForcePath)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

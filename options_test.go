@@ -6,9 +6,8 @@ import (
 )
 
 // The public fusion surface must not silently ignore options (ISSUE 5):
-// Fuse routes Shards > 1 to the sharded engine, the sharded incremental
-// engine rejects the TrustTolerance it cannot honour, and every entry
-// point validates knob combinations instead of no-opping them.
+// Fuse routes Shards > 1 to the sharded engine, and every entry point
+// validates knob combinations instead of no-opping them.
 
 // optionsWorld builds a small two-day stream with enough disagreement to
 // exercise trust estimation.
@@ -107,24 +106,49 @@ func TestFuseHonorsMaxResidentShards(t *testing.T) {
 	}
 }
 
-// TestShardedIncrementalRejectsTolerance asserts the second footgun fix:
-// the sharded incremental engine has no warm path, so asking for one is an
-// error, not a silently exact answer.
-func TestShardedIncrementalRejectsTolerance(t *testing.T) {
+// TestShardedIncrementalWarmTolerance: the sharded incremental engine
+// now honours a positive TrustTolerance with the per-shard warm path,
+// and its warm answers are bit-identical to the flat warm path on the
+// same stream. Zero tolerance stays bit-identical to a full fuse.
+func TestShardedIncrementalWarmTolerance(t *testing.T) {
 	ds, day0, deltas := optionsWorld(t)
+	const tol = 0.05
+	_, shd, err := FuseShardedStateful(ds, day0, "AccuPr", FuseOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, flat, err := FuseStateful(ds, day0, "AccuPr", FuseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmShd, shd, err := FuseShardedIncremental(ds, shd, deltas[0], "AccuPr",
+		FuseOptions{Shards: 4, TrustTolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmFlat, flat, err := FuseIncremental(ds, flat, deltas[0], "AccuPr",
+		FuseOptions{TrustTolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shd.Stats.Mode != flat.Stats.Mode {
+		t.Fatalf("sharded mode %s vs flat %s", shd.Stats.Mode, flat.Stats.Mode)
+	}
+	if len(warmShd) != len(warmFlat) {
+		t.Fatalf("answer counts %d vs %d", len(warmShd), len(warmFlat))
+	}
+	for i := range warmFlat {
+		if warmShd[i] != warmFlat[i] {
+			t.Fatalf("warm answer %d differs between sharded and flat: %+v vs %+v",
+				i, warmShd[i], warmFlat[i])
+		}
+	}
+
+	// Zero tolerance still matches a full fuse of day 1.
 	_, st, err := FuseShardedStateful(ds, day0, "AccuPr", FuseOptions{Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = FuseShardedIncremental(ds, st, deltas[0], "AccuPr",
-		FuseOptions{Shards: 4, TrustTolerance: 0.05})
-	if err == nil {
-		t.Fatal("FuseShardedIncremental accepted a non-zero TrustTolerance")
-	}
-	if !strings.Contains(err.Error(), "TrustTolerance") {
-		t.Fatalf("error does not name the rejected option: %v", err)
-	}
-	// Zero tolerance still works and matches a full fuse of day 1.
 	inc, _, err := FuseShardedIncremental(ds, st, deltas[0], "AccuPr", FuseOptions{Shards: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -175,6 +199,16 @@ func TestFuseOptionsValidate(t *testing.T) {
 		{"negative resident", FuseOptions{Shards: 4, MaxResidentShards: -1}, "MaxResidentShards"},
 		{"resident without shards", FuseOptions{MaxResidentShards: 2}, "Shards > 1"},
 		{"negative tolerance", FuseOptions{TrustTolerance: -0.1}, "TrustTolerance"},
+		{"auto planner", FuseOptions{Planner: &Planner{Mode: PlannerAuto}}, ""},
+		{"forced planner", FuseOptions{Planner: &Planner{Mode: PlannerForced, ForcePath: ModeFull}}, ""},
+		{"negative warm ceiling", FuseOptions{Planner: &Planner{WarmChurnCeiling: -1}}, "WarmChurnCeiling"},
+		{"force path without forced mode", FuseOptions{Planner: &Planner{ForcePath: ModeWarm}}, "ForcePath"},
+		{"forced sharded layout without shards",
+			FuseOptions{Planner: &Planner{Mode: PlannerForced, ForcePath: ModeFull, ForceLayout: LayoutSharded}}, "Shards"},
+		{"forced flat layout with shards",
+			FuseOptions{Shards: 4, Planner: &Planner{Mode: PlannerForced, ForcePath: ModeFull, ForceLayout: LayoutFlat}}, "Shards"},
+		{"forced sharded layout with shards",
+			FuseOptions{Shards: 4, Planner: &Planner{Mode: PlannerForced, ForcePath: ModeFull, ForceLayout: LayoutSharded}}, ""},
 	}
 	ds, snap, _ := optionsWorld(t)
 	for _, tc := range cases {
@@ -217,5 +251,23 @@ func TestFingerprintStability(t *testing.T) {
 	diffTol := FuseOptions{Sources: []SourceID{0, 1, 2}, TrustTolerance: 0.1}
 	if diffTol.Fingerprint("AccuPr") == fp {
 		t.Fatal("trust tolerance does not affect the fingerprint")
+	}
+	// At zero tolerance every planner path is bit-identical, so the
+	// planner must not perturb the digest; under a positive tolerance the
+	// warm-vs-full choice is approximate and the planner's path knobs
+	// must join it.
+	planned := FuseOptions{Sources: []SourceID{0, 1, 2}, Planner: &Planner{Mode: PlannerAuto}}
+	if planned.Fingerprint("AccuPr") != fp {
+		t.Fatal("planner changed the fingerprint at zero tolerance")
+	}
+	tolPlanned := FuseOptions{Sources: []SourceID{0, 1, 2}, TrustTolerance: 0.1,
+		Planner: &Planner{Mode: PlannerAuto}}
+	if tolPlanned.Fingerprint("AccuPr") == diffTol.Fingerprint("AccuPr") {
+		t.Fatal("planner does not affect the fingerprint under a positive tolerance")
+	}
+	tolCeiling := FuseOptions{Sources: []SourceID{0, 1, 2}, TrustTolerance: 0.1,
+		Planner: &Planner{Mode: PlannerAuto, WarmChurnCeiling: 0.4}}
+	if tolCeiling.Fingerprint("AccuPr") == tolPlanned.Fingerprint("AccuPr") {
+		t.Fatal("warm ceiling does not affect the fingerprint under a positive tolerance")
 	}
 }

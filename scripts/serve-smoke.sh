@@ -142,6 +142,21 @@ echo "$ack" | grep -q '"version":3' || {
 echo "$ack" | grep -q '"etag":' || {
   echo "serve-smoke: awaited claims post carried no etag: '$ack'" >&2; exit 1; }
 
+# The planner object is part of the stats contract: each ingest flush
+# above went through an engine advance, so /v1/stats must surface its
+# recorded decisions — newest first, stamped with the flush's version
+# and a recognized execution path.
+curl -fsS "$addr/v1/stats" | python3 -c '
+import json, sys
+p = json.load(sys.stdin)["planner"]
+assert p["recorded"] >= 2, p
+d = p["decisions"][0]
+assert d["path"] in ("local", "warm", "full"), d
+assert d["layout"] == "flat", d
+assert d["version"] == 3, d
+assert d["reason"], d
+' || { echo "serve-smoke: planner object missing or malformed in /v1/stats" >&2; exit 1; }
+
 # The runs were persisted (atomically) on publish — version 1 at
 # startup, then one version per ingest flush.
 ls "$tmp/store" | grep -q '^run-.*\.tdr$'

@@ -115,18 +115,18 @@ func FuseShardedStateful(ds *Dataset, snap *Snapshot, method string, opts FuseOp
 // FuseShardedIncremental advances a sharded state over a delta: the
 // delta splits by item shard, every shard applies its slice and
 // maintains its problem from its own dirty worklist, and the method
-// re-runs with the single cross-shard trust merge. Answers are always
-// bit-identical to Fuse on the delta's target snapshot: the sharded
-// engine has no approximate warm path, so a non-zero
-// FuseOptions.TrustTolerance is rejected rather than silently ignored —
-// a caller asking for the approximation must not believe it got one.
-// Use the flat FuseIncremental for the warm path.
+// re-runs with the single cross-shard trust merge. With a zero
+// FuseOptions.TrustTolerance answers are bit-identical to Fuse on the
+// delta's target snapshot. A positive tolerance enables the same
+// dirty-only warm path as FuseIncremental, run per shard: each shard's
+// posterior phase re-runs only for its rebuilt items, trust is
+// re-estimated through the deterministic cross-shard merge, and the
+// engine falls back to the full sharded run as soon as any source's
+// trust drifts past the tolerance — bit-identical to the flat warm
+// path on the same snapshot and tolerance.
 func FuseShardedIncremental(ds *Dataset, prev *ShardedState, delta *Delta, method string, opts FuseOptions) ([]Answer, *ShardedState, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, nil, err
-	}
-	if opts.TrustTolerance != 0 {
-		return nil, nil, fmt.Errorf("truthdiscovery: the sharded engine has no TrustTolerance warm path (answers are always exact); use FuseIncremental for the approximate dirty-only iteration")
 	}
 	if prev == nil || prev.st == nil {
 		return nil, nil, fmt.Errorf("truthdiscovery: FuseShardedIncremental needs a state from FuseShardedStateful")
@@ -143,7 +143,7 @@ func FuseShardedIncremental(ds *Dataset, prev *ShardedState, delta *Delta, metho
 	st, stats, err := prev.st.Advance(ds, delta, fusion.Options{
 		KnownGroups: opts.KnownCopyGroups,
 		Parallelism: opts.Parallelism,
-	}, fusion.IncrementalOptions{})
+	}, fusion.IncrementalOptions{TrustTolerance: opts.TrustTolerance, Planner: opts.Planner})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -65,6 +65,29 @@ type (
 	FusionResult = fusion.Result
 	// FusionEval holds precision/recall/trust measures for a run.
 	FusionEval = fusion.Eval
+	// Planner tunes the adaptive execution planner (FuseOptions.Planner).
+	Planner = fusion.Planner
+	// PlannerMode selects auto planning or a forced plan.
+	PlannerMode = fusion.PlannerMode
+	// Plan is one advance's recorded execution decision.
+	Plan = fusion.Plan
+	// PlanFeatures are the measured delta features a plan decided on.
+	PlanFeatures = fusion.PlanFeatures
+	// PlanLayout names a problem layout (flat or sharded).
+	PlanLayout = fusion.PlanLayout
+)
+
+// Planner modes and layouts.
+const (
+	// PlannerAuto computes each advance's plan from the delta features.
+	PlannerAuto = fusion.PlannerAuto
+	// PlannerForced executes exactly the plan named by the planner's
+	// ForcePath/ForceLayout.
+	PlannerForced = fusion.PlannerForced
+	// LayoutFlat is the single-arena flat engine.
+	LayoutFlat = fusion.LayoutFlat
+	// LayoutSharded is the per-item-shard engine.
+	LayoutSharded = fusion.LayoutSharded
 )
 
 // Value kinds.
@@ -190,14 +213,25 @@ type FuseOptions struct {
 	// 0 (the default) uses GOMAXPROCS, 1 forces the exact serial path.
 	// Results are bit-identical at any setting.
 	Parallelism int
-	// TrustTolerance (FuseIncremental only) enables the approximate
+	// TrustTolerance (the incremental engines) enables the approximate
 	// dirty-only warm path: the ACCU-family methods re-run the posterior
 	// phase only for changed items while no source trust drifts more than
 	// this from the previous state, falling back to full re-fusion past
 	// it. 0 (the default) keeps incremental answers bit-identical to Fuse.
-	// The sharded incremental engine has no warm path and rejects a
-	// non-zero tolerance rather than silently returning exact answers.
+	// Both layouts support it: the sharded engine runs the same warm
+	// iteration per shard, feeding the deterministic cross-shard trust
+	// merge — bit-identical to the flat warm path at any shard count.
 	TrustTolerance float64
+	// Planner, when set, plans each incremental advance from the day's
+	// measured delta features (churn fraction, dirty-shard fan-out, arena
+	// bytes) instead of the fixed tolerance-only gating: PlannerAuto
+	// applies the churn ceiling to the warm path (warm wins at low churn,
+	// loses at the paper's 90%-churn days), PlannerForced executes
+	// exactly the named path. FuseAuto additionally uses
+	// Planner.ArenaBudgetBytes to lay the world out flat or sharded. The
+	// decision and its features are recorded on the result
+	// (FusionResult.Plan) and in the stats of every advance.
+	Planner *Planner
 	// Shards partitions the items into this many range shards, each fused
 	// as its own problem with one deterministic cross-shard trust merge.
 	// 0 or 1 means one shard. Answers are bit-identical to Fuse at any
